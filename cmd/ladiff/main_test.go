@@ -1,0 +1,171 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func texPaths(t *testing.T) (string, string) {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", "texbook_old.tex"),
+		filepath.Join("..", "..", "testdata", "texbook_new.tex")
+}
+
+func TestMarkedOutput(t *testing.T) {
+	oldP, newP := texPaths(t)
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "marked", 0, 0, false, -1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\\documentclass", "\\textbf{", "\\textit{", "Moved from S"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("marked output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptOutput(t *testing.T) {
+	oldP, newP := texPaths(t)
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "latex", "script", 0, 0, true, -1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"op": "move"`) || !strings.Contains(out, `"op": "update"`) {
+		t.Fatalf("script JSON missing ops:\n%s", out)
+	}
+}
+
+func TestSummaryOutput(t *testing.T) {
+	oldP, newP := texPaths(t)
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "summary", 0.7, 0.6, false, -1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"old tree:", "script:", "distances:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeltaOutput(t *testing.T) {
+	oldP, newP := texPaths(t)
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "delta", 0, 0, false, -1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IDN document") {
+		t.Fatalf("delta output missing root:\n%s", out)
+	}
+}
+
+func TestTextAndHTMLFormats(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.txt")
+	newP := filepath.Join(dir, "new.txt")
+	os.WriteFile(oldP, []byte("A stable sentence stays. A doomed one goes away. Another stable one anchors."), 0o644)
+	os.WriteFile(newP, []byte("A stable sentence stays. A new one arrives today. Another stable one anchors."), 0o644)
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "summary", 0, 0, false, -1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 insert, 1 delete") {
+		t.Fatalf("text diff summary:\n%s", out)
+	}
+
+	oldH := filepath.Join(dir, "old.html")
+	newH := filepath.Join(dir, "new.html")
+	os.WriteFile(oldH, []byte("<p>A stable sentence stays here. Another stable sentence also stays.</p>"), 0o644)
+	os.WriteFile(newH, []byte("<p>A stable sentence stays here. Another stable sentence also stays. Plus one brand new arrival.</p>"), 0o644)
+	out, err = capture(t, func() error {
+		return run(oldH, newH, "", "summary", 0, 0, false, -1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 insert, 0 delete") {
+		t.Fatalf("html diff summary:\n%s", out)
+	}
+}
+
+func TestQueryOutput(t *testing.T) {
+	oldP, newP := texPaths(t)
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "query", 0, 0, false, -1, "**/sentence[changed]")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "document/section/paragraph/sentence") {
+		t.Fatalf("query output:\n%s", out)
+	}
+	if err := run(oldP, newP, "", "query", 0, 0, false, -1, ""); err == nil {
+		t.Fatal("expected error for missing -query")
+	}
+}
+
+func TestLevelFlag(t *testing.T) {
+	oldP, newP := texPaths(t)
+	for _, level := range []int{0, 1, 2, 3} {
+		out, err := capture(t, func() error {
+			return run(oldP, newP, "", "summary", 0, 0, false, level, "")
+		})
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !strings.Contains(out, "script:") {
+			t.Fatalf("level %d produced no summary:\n%s", level, out)
+		}
+	}
+	if err := run(oldP, newP, "", "summary", 0, 0, false, 9, ""); err == nil {
+		t.Fatal("expected error for bad level")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	oldP, newP := texPaths(t)
+	if err := run("missing.tex", newP, "", "marked", 0, 0, false, -1, ""); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if err := run(oldP, newP, "nosuch", "marked", 0, 0, false, -1, ""); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if err := run(oldP, newP, "", "nosuch", 0, 0, false, -1, ""); err == nil {
+		t.Fatal("expected error for unknown output")
+	}
+	if err := run(oldP, newP, "", "marked", 0.3, 0, false, -1, ""); err == nil {
+		t.Fatal("expected error for t < 0.5")
+	}
+}

@@ -1,0 +1,158 @@
+// Command treediff diffs two generic trees — given as JSON
+// ({"label": ..., "value": ..., "children": [...]}) or as the indented
+// text format of (*tree.Tree).String — and emits the minimum-cost edit
+// script, the matching, or the delta tree. It is the domain-agnostic
+// counterpart of ladiff for object hierarchies and database dumps (§1).
+//
+// Usage:
+//
+//	treediff [flags] OLD NEW
+//
+//	-format json|text|xml|jsondoc   input format (default: by extension;
+//	        json = the tree wire format {"label":...,"children":[...]},
+//	        jsondoc = diff arbitrary JSON documents structurally)
+//	-out    script|delta|matching|summary   (default script)
+//	-t, -f                   match thresholds (§5)
+//	-compare wordlcs|exact|levenshtein|tokenset   leaf comparer
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ladiff"
+)
+
+func main() {
+	format := flag.String("format", "", "input format: json or text (default: by extension)")
+	out := flag.String("out", "script", "output: script, delta, matching, or summary")
+	tThresh := flag.Float64("t", 0, "internal match threshold t in [0.5,1] (0 = default)")
+	fThresh := flag.Float64("f", 0, "leaf match threshold f in [0,1] (0 = default)")
+	comparer := flag.String("compare", "wordlcs", "leaf comparer: wordlcs, exact, levenshtein, or tokenset")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: treediff [flags] OLD NEW\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *comparer); err != nil {
+		fmt.Fprintf(os.Stderr, "treediff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, format, out string, t, f float64, comparer string) error {
+	oldT, err := load(oldPath, format)
+	if err != nil {
+		return err
+	}
+	newT, err := load(newPath, format)
+	if err != nil {
+		return err
+	}
+	cmp, err := comparerByName(comparer)
+	if err != nil {
+		return err
+	}
+	opts := ladiff.Options{}
+	opts.Match.Compare = cmp
+	opts.Match.InternalThreshold = t
+	opts.Match.LeafThreshold = f
+	res, err := ladiff.Diff(oldT, newT, opts)
+	if err != nil {
+		return err
+	}
+	switch out {
+	case "script":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Script)
+	case "delta":
+		dt, err := ladiff.BuildDelta(res)
+		if err != nil {
+			return err
+		}
+		fmt.Print(dt.String())
+		return nil
+	case "matching":
+		for _, p := range res.Matching.Pairs() {
+			fmt.Printf("%d\t%d\t%v\t%v\n", p.Old, p.New, res.Old.Node(p.Old), res.New.Node(p.New))
+		}
+		return nil
+	case "summary":
+		ins, del, upd, mov := res.Script.Counts()
+		fmt.Printf("nodes: %d -> %d, matched %d\n", res.Old.Len(), res.New.Len(), res.Matching.Len())
+		fmt.Printf("script: %d ops (%d ins, %d del, %d upd, %d mov), cost %.2f\n",
+			len(res.Script), ins, del, upd, mov, res.Cost(nil))
+		return nil
+	default:
+		return fmt.Errorf("unknown -out %q", out)
+	}
+}
+
+func load(path, format string) (*ladiff.Tree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if format == "" {
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".json":
+			format = "json"
+		case ".xml":
+			format = "xml"
+		default:
+			format = "text"
+		}
+	}
+	switch format {
+	case "xml":
+		t, err := ladiff.ParseXML(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
+	case "jsondoc":
+		t, err := ladiff.ParseJSON(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
+	case "json":
+		t := ladiff.NewTree()
+		if err := json.Unmarshal(data, t); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
+	case "text":
+		t, err := ladiff.ParseTree(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want json, jsondoc, xml, or text)", format)
+	}
+}
+
+func comparerByName(name string) (ladiff.CompareFunc, error) {
+	switch name {
+	case "wordlcs":
+		return ladiff.CompareWordLCS, nil
+	case "exact":
+		return ladiff.CompareExact, nil
+	case "levenshtein":
+		return ladiff.CompareLevenshtein, nil
+	case "tokenset":
+		return ladiff.CompareTokenSet, nil
+	default:
+		return nil, fmt.Errorf("unknown comparer %q", name)
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func writeFiles(t *testing.T, oldSrc, newSrc, ext string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old"+ext)
+	newP := filepath.Join(dir, "new"+ext)
+	if err := os.WriteFile(oldP, []byte(oldSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newP, []byte(newSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return oldP, newP
+}
+
+const oldText = `root
+  item "alpha beta gamma"
+  item "delta epsilon zeta"`
+
+const newText = `root
+  item "delta epsilon zeta"
+  item "alpha beta gamma"`
+
+func TestTextTreesScript(t *testing.T) {
+	oldP, newP := writeFiles(t, oldText, newText, ".tree")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "script", 0, 0, "wordlcs")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"op": "move"`) {
+		t.Fatalf("expected a move for the swap:\n%s", out)
+	}
+}
+
+func TestJSONTrees(t *testing.T) {
+	oldJSON := `{"label":"db","children":[
+	  {"label":"row","value":"id=1 name=ann role=admin"},
+	  {"label":"row","value":"id=2 name=bob role=user"}]}`
+	newJSON := `{"label":"db","children":[
+	  {"label":"row","value":"id=1 name=ann role=owner"},
+	  {"label":"row","value":"id=2 name=bob role=user"}]}`
+	oldP, newP := writeFiles(t, oldJSON, newJSON, ".json")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "summary", 0, 1.0, "tokenset")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 upd") {
+		t.Fatalf("expected one update:\n%s", out)
+	}
+}
+
+func TestMatchingOutput(t *testing.T) {
+	oldP, newP := writeFiles(t, oldText, newText, ".tree")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "text", "matching", 0, 0, "wordlcs")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("expected 3 matched pairs:\n%s", out)
+	}
+}
+
+func TestDeltaOutput(t *testing.T) {
+	oldP, newP := writeFiles(t, oldText, newText, ".tree")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "delta", 0, 0, "exact")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MOV#") || !strings.Contains(out, "MRK#") {
+		t.Fatalf("expected move pair in delta:\n%s", out)
+	}
+}
+
+func TestXMLFormat(t *testing.T) {
+	oldXML := `<db><rec id="1"><f>alpha beta gamma delta</f></rec></db>`
+	newXML := `<db><rec id="1"><f>alpha beta gamma echo</f></rec></db>`
+	oldP, newP := writeFiles(t, oldXML, newXML, ".xml")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "summary", 0, 0, "wordlcs")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 upd") {
+		t.Fatalf("xml diff summary:\n%s", out)
+	}
+}
+
+func TestJSONDocFormat(t *testing.T) {
+	oldJSON := `{"host": "db1.internal", "port": 5432}`
+	newJSON := `{"host": "db2.internal", "port": 5432}`
+	oldP, newP := writeFiles(t, oldJSON, newJSON, ".json")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "jsondoc", "summary", 0, 0, "levenshtein")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 upd") {
+		t.Fatalf("jsondoc diff summary:\n%s", out)
+	}
+}
+
+func TestComparerSelection(t *testing.T) {
+	for _, name := range []string{"wordlcs", "exact", "levenshtein", "tokenset"} {
+		if _, err := comparerByName(name); err != nil {
+			t.Errorf("comparer %q rejected: %v", name, err)
+		}
+	}
+	if _, err := comparerByName("nosuch"); err == nil {
+		t.Fatal("expected error for unknown comparer")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	oldP, newP := writeFiles(t, oldText, newText, ".tree")
+	if err := run("missing", newP, "", "script", 0, 0, "wordlcs"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if err := run(oldP, newP, "nosuch", "script", 0, 0, "wordlcs"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if err := run(oldP, newP, "", "nosuch", 0, 0, "wordlcs"); err == nil {
+		t.Fatal("expected error for unknown output")
+	}
+	if err := run(oldP, newP, "", "script", 0, 0, "nosuch"); err == nil {
+		t.Fatal("expected error for unknown comparer")
+	}
+	badP, _ := writeFiles(t, "{not json", "{}", ".json")
+	if err := run(badP, badP, "", "script", 0, 0, "wordlcs"); err == nil {
+		t.Fatal("expected error for bad JSON")
+	}
+}

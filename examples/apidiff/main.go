@@ -1,0 +1,109 @@
+// Apidiff diffs two versions of a JSON API payload structurally — the
+// "keyless hierarchical data" of the paper's introduction in its most
+// common modern form. Object members are matched by name (the keyed fast
+// path), scalar values by character-level similarity, and an active rule
+// set (§9) turns the delta into alerts: a schema-removal rule, a
+// value-change rule, and an addition rule.
+//
+// Run with: go run ./examples/apidiff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladiff"
+)
+
+const v1 = `{
+  "service": "orders",
+  "version": "2.3.1",
+  "endpoints": [
+    {"path": "/orders", "method": "GET", "auth": "token"},
+    {"path": "/orders", "method": "POST", "auth": "token"},
+    {"path": "/orders/{id}", "method": "GET", "auth": "token"}
+  ],
+  "limits": {"rate": 100, "burst": 20},
+  "deprecated": false
+}`
+
+const v2 = `{
+  "service": "orders",
+  "version": "2.4.0",
+  "endpoints": [
+    {"path": "/orders", "method": "GET", "auth": "oauth2"},
+    {"path": "/orders", "method": "POST", "auth": "oauth2"},
+    {"path": "/orders/{id}", "method": "GET", "auth": "oauth2"},
+    {"path": "/orders/{id}/cancel", "method": "POST", "auth": "oauth2"}
+  ],
+  "limits": {"rate": 100, "burst": 50, "concurrent": 8},
+  "deprecated": false
+}`
+
+func main() {
+	oldT, err := ladiff.ParseJSON(v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newT, err := ladiff.ParseJSON(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := ladiff.Options{}
+	opts.Match.Key = ladiff.JSONMemberKey
+	// Short scalars: compare characters, and open the leaf threshold to
+	// its maximum so "2.3.1"→"2.4.0" counts as an update rather than a
+	// remove+add (values with nothing in common still split).
+	opts.Match.Compare = ladiff.CompareLevenshtein
+	opts.Match.LeafThreshold = 1.0
+	res, err := ladiff.Diff(oldT, newT, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Structural change log ==")
+	for _, h := range dt.Changes() {
+		switch h.Node.Kind {
+		case ladiff.DeltaUpdated:
+			fmt.Printf("  changed  %s: %q -> %q\n", h.Path, h.Node.OldValue, h.Node.Value)
+		case ladiff.DeltaInserted:
+			if h.Node.Value != "" {
+				fmt.Printf("  added    %s: %q\n", h.Path, h.Node.Value)
+			}
+		case ladiff.DeltaDeleted:
+			if h.Node.Value != "" {
+				fmt.Printf("  removed  %s: %q\n", h.Path, h.Node.Value)
+			}
+		}
+	}
+
+	fmt.Println("\n== Rules ==")
+	var rules ladiff.RuleSet
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(rules.On("breaking-removal", "**/member[del]", func(rule string, h ladiff.DeltaHit) {
+		fmt.Printf("  ALERT %s: member %q removed\n", rule, h.Node.Value)
+	}))
+	must(rules.On("value-drift", "**/string[upd]", func(rule string, h ladiff.DeltaHit) {
+		fmt.Printf("  note  %s: %q -> %q\n", rule, h.Node.OldValue, h.Node.Value)
+	}))
+	must(rules.On("additions", "**/member[ins]", func(rule string, h ladiff.DeltaHit) {
+		fmt.Printf("  note  %s: new member %q\n", rule, h.Node.Value)
+	}))
+	fired := rules.Apply(dt)
+	fmt.Printf("\nfired: breaking-removal=%d value-drift=%d additions=%d\n",
+		fired["breaking-removal"], fired["value-drift"], fired["additions"])
+	if fired["breaking-removal"] > 0 {
+		fmt.Println("verdict: BREAKING change")
+	} else {
+		fmt.Println("verdict: backward-compatible change")
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: diff two small documents with the public API and print the
+// edit script, the delta tree, and the marked-up LaTeX output.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladiff"
+)
+
+const oldDoc = `\section{Greetings}
+Hello world, this is the first sentence. This sentence will be deleted soon.
+A third sentence anchors the paragraph.
+
+\section{Farewell}
+Goodbye world, see you around sometime.`
+
+const newDoc = `\section{Greetings}
+Hello world, this is the first sentence. A freshly written sentence appears here.
+A third sentence anchors the paragraph.
+
+\section{Farewell}
+Goodbye world, see you around next time.`
+
+func main() {
+	oldT, err := ladiff.ParseLatex(oldDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newT, err := ladiff.ParseLatex(newDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One call runs the whole pipeline: FastMatch (§5) finds the node
+	// correspondence, EditScript (§4) produces the minimum-cost
+	// conforming script.
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Edit script ==")
+	for i, op := range res.Script {
+		fmt.Printf("%2d. %v\n", i+1, op)
+	}
+	fmt.Printf("cost: %.2f under the unit-cost model\n\n", res.Cost(nil))
+
+	// The delta tree overlays the script onto the data (§6).
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Delta tree ==")
+	fmt.Print(dt.String())
+
+	// And the LaDiff rendering marks the changes in the document itself
+	// (§7, Table 2): bold = inserted, small = deleted, italic = updated.
+	fmt.Println("\n== Marked-up document ==")
+	fmt.Print(ladiff.RenderLatex(dt))
+}

@@ -1,0 +1,139 @@
+// Versionstore demonstrates delta-based version management, the paper's
+// version-and-configuration-management motivation (§1, [HKG+94]): instead
+// of storing every version of a document, store the latest version plus a
+// chain of inverse edit scripts, and reconstruct any historical version by
+// replaying inverses backward.
+//
+// The example commits four versions of a document, keeps only the newest
+// tree plus the (JSON-serialized, as they would be on disk) inverse
+// scripts, checks out every historical version, and verifies each against
+// the original.
+//
+// Run with: go run ./examples/versionstore
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"ladiff"
+)
+
+var versions = []string{
+	`First sentence of the document. Second sentence with more detail. Third sentence wraps it up.`,
+
+	`First sentence of the document. Second sentence with extra detail. Third sentence wraps it up.
+
+A brand new paragraph appears in version two.`,
+
+	`A brand new paragraph appears in version two.
+
+First sentence of the document. Second sentence with extra detail. Third sentence wraps it up.`,
+
+	`A brand new paragraph appears in version two.
+
+First sentence of the document. Third sentence wraps it up. Final remark added in version four.`,
+}
+
+// store keeps the latest tree and one serialized inverse script per
+// committed version (inverse[i] turns version i+1 back into version i).
+type store struct {
+	head     *ladiff.Tree
+	inverses [][]byte
+}
+
+// commit advances the store to the next version.
+func (s *store) commit(next *ladiff.Tree) error {
+	if s.head == nil {
+		s.head = next
+		return nil
+	}
+	res, err := ladiff.Diff(s.head, next, ladiff.Options{})
+	if err != nil {
+		return err
+	}
+	// The forward script expressed against the current head...
+	forward := res.Script
+	// ...and its inverse, which reconstructs the current head from the
+	// next version. Only the inverse is stored.
+	inv, err := ladiff.InvertScript(forward, s.head)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(inv)
+	if err != nil {
+		return err
+	}
+	s.inverses = append(s.inverses, data)
+	// The inverse applies to the post-script tree (head + forward), whose
+	// surviving nodes keep head's identifiers — so replay forward on head
+	// to advance, rather than adopting next's unrelated ID space.
+	advanced, err := res.ApplyToOld()
+	if err != nil {
+		return err
+	}
+	s.head = advanced
+	return nil
+}
+
+// checkout reconstructs version v (0-based) by applying inverse scripts
+// backward from the head.
+func (s *store) checkout(v int) (*ladiff.Tree, error) {
+	work := s.head.Clone()
+	for i := len(s.inverses) - 1; i >= v; i-- {
+		var inv ladiff.Script
+		if err := json.Unmarshal(s.inverses[i], &inv); err != nil {
+			return nil, err
+		}
+		if err := inv.Apply(work); err != nil {
+			return nil, fmt.Errorf("rolling back to version %d: %w", v, err)
+		}
+	}
+	return work, nil
+}
+
+func main() {
+	var s store
+	var originals []*ladiff.Tree
+	for i, src := range versions {
+		doc := ladiff.ParseText(src)
+		originals = append(originals, doc)
+		if err := s.commit(doc); err != nil {
+			log.Fatalf("commit v%d: %v", i+1, err)
+		}
+	}
+	total := 0
+	for _, inv := range s.inverses {
+		total += len(inv)
+	}
+	fmt.Printf("stored: 1 head tree + %d inverse scripts (%d bytes of JSON)\n\n",
+		len(s.inverses), total)
+
+	for v := len(versions) - 1; v >= 0; v-- {
+		got, err := s.checkout(v)
+		if err != nil {
+			log.Fatalf("checkout v%d: %v", v+1, err)
+		}
+		ok := ladiff.Isomorphic(got, originals[v])
+		fmt.Printf("checkout v%d: %d nodes, matches original: %v\n", v+1, got.Len(), ok)
+		if !ok {
+			log.Fatalf("version %d reconstruction failed:\n%v\nvs\n%v", v+1, got, originals[v])
+		}
+	}
+
+	// Bonus: show what changed between the two middle versions, as a
+	// change report.
+	v2, _ := s.checkout(1)
+	v3, _ := s.checkout(2)
+	res, err := ladiff.Diff(v2, v3, ladiff.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nchanges v2 -> v3:")
+	fmt.Print(ladiff.RenderTextDelta(dt))
+}

@@ -1,0 +1,123 @@
+// Webwatch demonstrates the paper's opening scenario (§1): a user visits
+// an HTML page repeatedly and wants each revision's changes highlighted —
+// moved paragraphs tombstoned at their old position and flagged at the
+// new one, insertions, deletions and edits classified rather than
+// reported as raw line diffs.
+//
+// The example simulates three visits to a news page and prints a change
+// digest after each revisit, exactly the workflow the paper proposes for
+// a diff-aware web browser (§9).
+//
+// Run with: go run ./examples/webwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ladiff"
+)
+
+// Three snapshots of the same page, as a crawler might capture them.
+var visits = []string{
+	`<html><body>
+<h1>Storm updates</h1>
+<p>The storm made landfall early on Tuesday morning. Coastal towns reported minor flooding in low areas. Emergency services remain on standby throughout the region.</p>
+<h1>Local news</h1>
+<p>The library renovation enters its final phase this week. Visitors should use the temporary entrance on Oak Street.</p>
+</body></html>`,
+
+	`<html><body>
+<h1>Storm updates</h1>
+<p>The storm made landfall early on Tuesday morning. Coastal towns reported significant flooding in low areas. Emergency services remain on standby throughout the region. Two shelters opened overnight for displaced residents.</p>
+<h1>Local news</h1>
+<p>The library renovation enters its final phase this week. Visitors should use the temporary entrance on Oak Street.</p>
+</body></html>`,
+
+	`<html><body>
+<h1>Storm updates</h1>
+<p>Two shelters opened overnight for displaced residents. The storm made landfall early on Tuesday morning. Coastal towns reported significant flooding in low areas. Emergency services remain on standby throughout the region.</p>
+<h1>Local news</h1>
+<p>Visitors should use the temporary entrance on Oak Street.</p>
+</body></html>`,
+}
+
+func main() {
+	// Active rules (§9): fire on specific kinds of change in specific
+	// parts of the page — here, anything new or edited under any
+	// section, plus a dedicated alert for storm-section changes.
+	var rules ladiff.RuleSet
+	alert := func(rule string, hit ladiff.DeltaHit) {
+		fmt.Printf("   [rule %s] %s: %s\n", rule, hit.Node.Kind, hit.Node.Value)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(rules.On("breaking", "**/sentence[ins]", alert))
+	must(rules.On("corrections", "**/sentence[upd]", alert))
+
+	prev, err := ladiff.ParseHTML(visits[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for visit := 1; visit < len(visits); visit++ {
+		cur, err := ladiff.ParseHTML(visits[visit])
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ladiff.Diff(prev, cur, ladiff.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== Visit %d: changes since last visit ==\n", visit+1)
+		if len(res.Script) == 0 {
+			fmt.Println("   (no changes)")
+		}
+		dt, err := ladiff.BuildDelta(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		digest(dt.Root)
+		fired := rules.Apply(dt)
+		fmt.Printf("   rules fired: %s\n\n", deltaSummary(fired))
+		prev = cur
+	}
+}
+
+func deltaSummary(fired map[string]int) string {
+	// delta.Summary is internal; format inline for the example.
+	s := ""
+	for _, name := range []string{"breaking", "corrections"} {
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", name, fired[name])
+	}
+	return s
+}
+
+func digest(n *ladiff.DeltaNode) {
+	var walk func(n *ladiff.DeltaNode)
+	walk = func(n *ladiff.DeltaNode) {
+		switch n.Kind {
+		case ladiff.DeltaInserted:
+			if n.Label == "sentence" {
+				fmt.Printf("   NEW      %s\n", n.Value)
+			}
+		case ladiff.DeltaDeleted:
+			if n.Label == "sentence" {
+				fmt.Printf("   REMOVED  %s\n", n.Value)
+			}
+		case ladiff.DeltaUpdated:
+			fmt.Printf("   EDITED   %s\n            (was: %s)\n", n.Value, n.OldValue)
+		case ladiff.DeltaMoveDest:
+			fmt.Printf("   MOVED    %s\n", n.Value)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+}

@@ -1,0 +1,3 @@
+module ladiff
+
+go 1.22

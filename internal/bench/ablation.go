@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"time"
+
+	"ladiff/internal/core"
+	"ladiff/internal/edit"
+	"ladiff/internal/gen"
+	"ladiff/internal/match"
+)
+
+// AblationPoint is one measurement of the optimality-level ablation
+// (experiment E9): script cost and wall-clock per A(k) level on a
+// workload that violates Matching Criterion 3.
+type AblationPoint struct {
+	Level     core.OptimalityLevel
+	LevelName string
+	Cost      float64
+	Ops       int
+	Nanos     int64
+}
+
+// LevelAblation runs the same duplicate-heavy diff at every optimality
+// level (§9's A(k) parameterization, DESIGN.md). Design expectation:
+// A(1) and A(2) never produce a costlier script than A(0) (the repair
+// pass only rewrites matches it can price as improvements), while time
+// grows with k — the big jump at A(3), which abandons the near-linear
+// matchers for the quadratic Zhang–Shasha mapping. A(3)'s cost may
+// differ in either direction by a small amount: it optimizes the [ZS89]
+// insert/delete/relabel objective, not the move-aware one.
+//
+// duplicateRate controls how badly Criterion 3 is violated; 0 means a
+// default of 0.3 (heavy duplication, where the levels actually differ).
+func LevelAblation(duplicateRate float64) ([]AblationPoint, error) {
+	if duplicateRate == 0 {
+		duplicateRate = 0.3
+	}
+	doc := gen.Document(gen.DocParams{
+		Seed: 777, Sections: 3, MinParagraphs: 3, MaxParagraphs: 4,
+		MinSentences: 3, MaxSentences: 5,
+		DuplicateRate: duplicateRate, Vocabulary: 80, MinWords: 4, MaxWords: 7,
+	})
+	pert, err := gen.Perturb(doc, gen.Mix(778, 12))
+	if err != nil {
+		return nil, err
+	}
+	model := edit.UnitCosts()
+	var out []AblationPoint
+	for _, k := range []core.OptimalityLevel{
+		core.LevelFast, core.LevelRepair, core.LevelThorough, core.LevelOptimal,
+	} {
+		start := time.Now()
+		res, err := core.DiffAtLevel(doc, pert.New, k, match.Options{})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		out = append(out, AblationPoint{
+			Level:     k,
+			LevelName: k.String(),
+			Cost:      model.Cost(res.Script),
+			Ops:       len(res.Script),
+			Nanos:     elapsed,
+		})
+	}
+	return out, nil
+}

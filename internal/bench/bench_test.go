@@ -1,0 +1,232 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"ladiff/internal/bench"
+)
+
+func TestFig13aShape(t *testing.T) {
+	points, err := bench.Fig13a([]int{4, 16, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 { // 3 sets × 3 levels
+		t.Fatalf("points = %d, want 9", len(points))
+	}
+	// Within each set, e must grow with the perturbation level (the
+	// near-linear Figure 13(a) trend), and e ≥ the structural share of d.
+	bySet := map[string][]bench.Fig13aPoint{}
+	for _, p := range points {
+		bySet[p.Set] = append(bySet[p.Set], p)
+		if p.E < 0 || p.D <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	for set, ps := range bySet {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].E <= ps[i-1].E {
+				t.Fatalf("%s: e not increasing: %+v", set, ps)
+			}
+		}
+	}
+}
+
+func TestFig13bBoundHolds(t *testing.T) {
+	points, err := bench.Fig13b([]int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Measured <= 0 {
+			t.Fatalf("no comparisons measured: %+v", p)
+		}
+		// The analytical bound must actually bound the measurement —
+		// this is the substance of Figure 13(b).
+		if float64(p.Measured) > p.Bound {
+			t.Fatalf("measured %d exceeds analytical bound %.0f: %+v", p.Measured, p.Bound, p)
+		}
+	}
+	// And on the large set the slack should be the paper's order of
+	// magnitude (they reported ≈20x).
+	maxSlack := 0.0
+	for _, p := range points {
+		if p.Slack > maxSlack {
+			maxSlack = p.Slack
+		}
+	}
+	if maxSlack < 5 {
+		t.Fatalf("bound slack %.1fx; expected the bound to be loose (paper: ~20x)", maxSlack)
+	}
+}
+
+func TestTable1Monotone(t *testing.T) {
+	rows, err := bench.Table1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 thresholds", len(rows))
+	}
+	prev := -1.0
+	for _, r := range rows {
+		if r.Percent < prev {
+			t.Fatalf("mismatch bound decreased at t=%v: %+v", r.T, rows)
+		}
+		prev = r.Percent
+	}
+	if rows[0].Percent != 0 {
+		t.Fatalf("t=0.5 should flag no paragraphs, got %.0f%%", rows[0].Percent)
+	}
+	if rows[len(rows)-1].Percent == 0 {
+		t.Fatal("t=1.0 should flag some paragraphs on a duplicate-containing document")
+	}
+}
+
+func TestMatcherScalingAdvantageGrows(t *testing.T) {
+	points, err := bench.MatcherScaling([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := points[0], points[1]
+	advSmall := float64(small.SlowCompares) / float64(small.FastCompares)
+	advLarge := float64(large.SlowCompares) / float64(large.FastCompares)
+	if advLarge <= advSmall {
+		t.Fatalf("FastMatch advantage did not grow with n: %.2fx -> %.2fx", advSmall, advLarge)
+	}
+}
+
+func TestZSScalingGapGrows(t *testing.T) {
+	points, err := bench.ZSScaling([]int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := points[0], points[1]
+	ratioSmall := float64(small.ZSNanos) / float64(small.OursNanos)
+	ratioLarge := float64(large.ZSNanos) / float64(large.OursNanos)
+	if ratioLarge <= ratioSmall {
+		t.Fatalf("ZS/ours ratio did not grow with n: %.2f -> %.2f", ratioSmall, ratioLarge)
+	}
+}
+
+func TestEditScriptNDExactOps(t *testing.T) {
+	points, err := bench.EditScriptND([]int{0, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Ops != 0 {
+		t.Fatalf("unperturbed tree produced %d ops", points[0].Ops)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Ops <= points[i-1].Ops {
+			t.Fatalf("script size not increasing with D: %+v", points)
+		}
+		// The generator must not emit spurious operations: a pure-move
+		// perturbation of k moves needs at most k script ops (moves can
+		// cancel, never multiply).
+		if points[i].Ops > points[i].Misaligned {
+			t.Fatalf("ops %d exceed move count %d", points[i].Ops, points[i].Misaligned)
+		}
+		if points[i].Work <= points[i-1].Work {
+			t.Fatalf("work counter not increasing with D: %+v", points)
+		}
+	}
+	// O(N + D) shape: the incremental work per move is a small constant,
+	// far below N — if it grew with N the claim would be broken.
+	first, last := points[0], points[len(points)-1]
+	if last.Misaligned > 0 {
+		perMove := float64(last.Work-first.Work) / float64(last.Misaligned)
+		if perMove > 40 {
+			t.Fatalf("work per move = %.1f, suspiciously superconstant", perMove)
+		}
+	}
+}
+
+func TestQualityGap(t *testing.T) {
+	points, err := bench.QualityGap([]float64{0, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	control := points[0]
+	if control.Violations != 0 {
+		t.Fatalf("control row reports %d violations", control.Violations)
+	}
+	for _, p := range points {
+		if p.Gap < 1.0-1e-9 {
+			t.Fatalf("A(1) cost below the claimed optimum: %+v", p)
+		}
+		// The ZS-matched pipeline must stay near the optimum: its only
+		// deviation comes from our restricted delete (leaf-only).
+		if p.A3Gap > 1.3 {
+			t.Fatalf("A(3) gap unexpectedly large: %+v", p)
+		}
+	}
+}
+
+func TestLevelAblationShape(t *testing.T) {
+	points, err := bench.LevelAblation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 levels", len(points))
+	}
+	if points[1].Cost > points[0].Cost+1e-9 {
+		t.Fatalf("A(1) cost %v exceeds A(0) cost %v", points[1].Cost, points[0].Cost)
+	}
+	for _, p := range points {
+		if p.Ops == 0 || p.Cost == 0 {
+			t.Fatalf("degenerate ablation point %+v", p)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := bench.FormatTable([]string{"a", "long-header"}, [][]string{
+		{"1", "2"},
+		{"wide-cell", "3"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---------") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+	// Columns are aligned: every row's second column starts at the same
+	// offset.
+	idx := strings.Index(lines[0], "long-header")
+	if strings.Index(lines[3], "3") != idx {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if bench.Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if got := bench.Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestSetsDistinctAndSized(t *testing.T) {
+	sets := bench.Sets()
+	if len(sets) != 3 {
+		t.Fatalf("sets = %d, want 3 (as in the paper)", len(sets))
+	}
+	seen := map[int64]bool{}
+	for _, s := range sets {
+		if seen[s.Params.Seed] {
+			t.Fatal("duplicate seed across sets")
+		}
+		seen[s.Params.Seed] = true
+	}
+	if sets[0].Params.Sections >= sets[2].Params.Sections {
+		t.Fatal("sets should grow in size")
+	}
+}

@@ -1,0 +1,107 @@
+package compare
+
+import (
+	"strings"
+
+	"ladiff/internal/lcs"
+)
+
+// WordOpKind classifies one word of a word-level diff.
+type WordOpKind int
+
+const (
+	// WordEqual marks a word common to both values.
+	WordEqual WordOpKind = iota
+	// WordDelete marks a word present only in the old value.
+	WordDelete
+	// WordInsert marks a word present only in the new value.
+	WordInsert
+)
+
+// WordOp is one word of a word-level diff between two values.
+type WordOp struct {
+	Kind WordOpKind
+	Word string
+}
+
+// WordDiff computes a word-level diff between two values using the same
+// LCS machinery as the sentence comparer: common words stay, the rest
+// become deletes (old order) and inserts (new order), interleaved
+// positionally. Renderers use it to show what changed *inside* an
+// updated sentence rather than italicizing the whole thing — a finer
+// grain than LaDiff's Table 2, in the spirit of its word-based sentence
+// comparison (§7).
+func WordDiff(a, b string) []WordOp {
+	wa, wb := Words(a), Words(b)
+	pairs := lcs.Indices(len(wa), len(wb), func(i, j int) bool { return wa[i] == wb[j] })
+	out := make([]WordOp, 0, len(wa)+len(wb))
+	ai, bi := 0, 0
+	for _, p := range pairs {
+		for ; ai < p.A; ai++ {
+			out = append(out, WordOp{Kind: WordDelete, Word: wa[ai]})
+		}
+		for ; bi < p.B; bi++ {
+			out = append(out, WordOp{Kind: WordInsert, Word: wb[bi]})
+		}
+		out = append(out, WordOp{Kind: WordEqual, Word: wa[p.A]})
+		ai, bi = p.A+1, p.B+1
+	}
+	for ; ai < len(wa); ai++ {
+		out = append(out, WordOp{Kind: WordDelete, Word: wa[ai]})
+	}
+	for ; bi < len(wb); bi++ {
+		out = append(out, WordOp{Kind: WordInsert, Word: wb[bi]})
+	}
+	return out
+}
+
+// Shingle returns a comparer based on k-word shingles (overlapping
+// windows): the Jaccard distance of the two shingle sets, scaled to
+// [0,2]. Unlike TokenSet it is order-sensitive at granularity k, and
+// unlike WordLCS it is insensitive to a single large block move within
+// the value — useful when leaf values are long passages rather than
+// sentences. k must be at least 1; values shorter than k words fall back
+// to whole-value comparison.
+func Shingle(k int) Func {
+	if k < 1 {
+		k = 1
+	}
+	return func(a, b string) float64 {
+		sa, sb := shingles(a, k), shingles(b, k)
+		if len(sa) == 0 && len(sb) == 0 {
+			if a == b {
+				return 0
+			}
+			return MaxDistance
+		}
+		set := make(map[string]uint8, len(sa)+len(sb))
+		for _, s := range sa {
+			set[s] |= 1
+		}
+		for _, s := range sb {
+			set[s] |= 2
+		}
+		inter := 0
+		for _, bits := range set {
+			if bits == 3 {
+				inter++
+			}
+		}
+		return MaxDistance * (1 - float64(inter)/float64(len(set)))
+	}
+}
+
+func shingles(s string, k int) []string {
+	words := Words(s)
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) < k {
+		return []string{strings.Join(words, " ")}
+	}
+	out := make([]string, 0, len(words)-k+1)
+	for i := 0; i+k <= len(words); i++ {
+		out = append(out, strings.Join(words[i:i+k], " "))
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package compare
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func renderOps(ops []WordOp) string {
+	var parts []string
+	for _, op := range ops {
+		switch op.Kind {
+		case WordEqual:
+			parts = append(parts, op.Word)
+		case WordDelete:
+			parts = append(parts, "-"+op.Word)
+		case WordInsert:
+			parts = append(parts, "+"+op.Word)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestWordDiffKnown(t *testing.T) {
+	got := renderOps(WordDiff("the quick brown fox", "the slow brown fox"))
+	if got != "the -quick +slow brown fox" {
+		t.Fatalf("diff = %q", got)
+	}
+	if got := renderOps(WordDiff("", "new words here")); got != "+new +words +here" {
+		t.Fatalf("pure insert = %q", got)
+	}
+	if got := renderOps(WordDiff("old words here", "")); got != "-old -words -here" {
+		t.Fatalf("pure delete = %q", got)
+	}
+}
+
+// TestWordDiffReconstruction: dropping inserts yields the old value,
+// dropping deletes the new value — the defining property.
+func TestWordDiffReconstruction(t *testing.T) {
+	f := func(aw, bw []uint8) bool {
+		vocab := []string{"v0", "v1", "v2", "v3", "v4"}
+		mk := func(xs []uint8) string {
+			parts := make([]string, len(xs))
+			for i, x := range xs {
+				parts[i] = vocab[int(x)%len(vocab)]
+			}
+			return strings.Join(parts, " ")
+		}
+		a, b := mk(aw), mk(bw)
+		var oldSide, newSide []string
+		for _, op := range WordDiff(a, b) {
+			if op.Kind != WordInsert {
+				oldSide = append(oldSide, op.Word)
+			}
+			if op.Kind != WordDelete {
+				newSide = append(newSide, op.Word)
+			}
+		}
+		return strings.Join(oldSide, " ") == a && strings.Join(newSide, " ") == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordDiffMinimal(t *testing.T) {
+	// The number of equal words must be the LCS length, so changed words
+	// are never over-reported.
+	ops := WordDiff("a b c d e", "a x c y e")
+	eq := 0
+	for _, op := range ops {
+		if op.Kind == WordEqual {
+			eq++
+		}
+	}
+	if eq != 3 {
+		t.Fatalf("equal words = %d, want 3 (a, c, e)", eq)
+	}
+}
+
+func TestShingleComparer(t *testing.T) {
+	f := Shingle(3)
+	if d := f("a b c d e", "a b c d e"); d != 0 {
+		t.Fatalf("identical distance = %v", d)
+	}
+	if d := f("a b c", "x y z"); d != MaxDistance {
+		t.Fatalf("disjoint distance = %v", d)
+	}
+	// Block move: two long halves swapped. WordLCS sees half the words
+	// out of place; the shingle comparer only pays at the seam.
+	left := "w1 w2 w3 w4 w5 w6 w7 w8 w9 w10"
+	right := "v1 v2 v3 v4 v5 v6 v7 v8 v9 v10"
+	a := left + " " + right
+	b := right + " " + left
+	if sd, wd := Shingle(2)(a, b), WordLCS(a, b); sd >= wd {
+		t.Fatalf("shingle %v should beat WordLCS %v on a block move", sd, wd)
+	}
+	// Metric basics.
+	if d := f("", ""); d != 0 {
+		t.Fatalf("empty-empty = %v", d)
+	}
+	if d := f("short", ""); d != MaxDistance {
+		t.Fatalf("short-empty = %v", d)
+	}
+	if d1, d2 := f("a b c d", "b c d a"), f("b c d a", "a b c d"); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("not symmetric: %v vs %v", d1, d2)
+	}
+	// Degenerate k.
+	if d := Shingle(0)("a", "a"); d != 0 {
+		t.Fatalf("k=0 fallback broken: %v", d)
+	}
+}

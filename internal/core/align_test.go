@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ladiff/internal/edit"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+)
+
+// identityMatching pairs every node of t1 with the same-position node of
+// an isomorphic t2 (built by cloning-like construction in the tests).
+func identityMatching(t *testing.T, t1, t2 *tree.Tree) *match.Matching {
+	t.Helper()
+	m := match.NewMatching()
+	n1, n2 := t1.PreOrder(), t2.PreOrder()
+	if len(n1) != len(n2) {
+		t.Fatalf("trees differ in size: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if err := m.Add(n1[i].ID(), n2[i].ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// permutationCase builds a parent with n children in order 0..n-1 and a
+// new tree with the children permuted, matched by value.
+func permutationCase(t *testing.T, perm []int) (*tree.Tree, *tree.Tree, *match.Matching) {
+	t.Helper()
+	t1 := tree.NewWithRoot("r", "")
+	for i := range perm {
+		t1.AppendChild(t1.Root(), "c", fmt.Sprint(i))
+	}
+	t2 := tree.NewWithRoot("r", "")
+	for _, v := range perm {
+		t2.AppendChild(t2.Root(), "c", fmt.Sprint(v))
+	}
+	m := match.NewMatching()
+	if err := m.Add(t1.Root().ID(), t2.Root().ID()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c1 := range t1.Root().Children() {
+		for _, c2 := range t2.Root().Children() {
+			if c1.Value() == c2.Value() && !m.MatchedNew(c2.ID()) {
+				if err := m.Add(c1.ID(), c2.ID()); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	return t1, t2, m
+}
+
+// lisLength computes the longest increasing subsequence length of a
+// permutation — the number of children AlignChildren may leave in place
+// (Lemma C.1: minimum moves = n − |LCS| = n − |LIS| here).
+func lisLength(perm []int) int {
+	var tails []int
+	for _, x := range perm {
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tails[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(tails) {
+			tails = append(tails, x)
+		} else {
+			tails[lo] = x
+		}
+	}
+	return len(tails)
+}
+
+// TestAlignChildrenMinimalMoves checks Lemma C.1 on every permutation of
+// 5 elements and on random larger permutations: the generated script
+// contains exactly n − LIS(perm) moves.
+func TestAlignChildrenMinimalMoves(t *testing.T) {
+	var perms [][]int
+	var build func(cur, rest []int)
+	build = func(cur, rest []int) {
+		if len(rest) == 0 {
+			perms = append(perms, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			build(append(cur, rest[i]), next)
+		}
+	}
+	build(nil, []int{0, 1, 2, 3, 4})
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(8 + rng.Intn(10))
+		perms = append(perms, perm)
+	}
+	for _, perm := range perms {
+		t1, t2, m := permutationCase(t, perm)
+		res, err := EditScript(t1, t2, m)
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		ins, del, upd, mov := res.Script.Counts()
+		if ins != 0 || del != 0 || upd != 0 {
+			t.Fatalf("perm %v: unexpected non-move ops in %v", perm, res.Script)
+		}
+		want := len(perm) - lisLength(perm)
+		if mov != want {
+			t.Fatalf("perm %v: %d moves, want %d (script %v)", perm, mov, want, res.Script)
+		}
+		if !tree.Isomorphic(res.Transformed, t2) {
+			t.Fatalf("perm %v: not isomorphic", perm)
+		}
+	}
+}
+
+// TestOpOrderingConstraints verifies the §4.3 ordering requirement: an
+// insert precedes the move of a node that becomes the inserted node's
+// child.
+func TestOpOrderingConstraints(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  s "orphan sentence body text"`)
+	t2 := tree.MustParse(`doc
+  wrapper
+    s "orphan sentence body text"`)
+	m := match.NewMatching()
+	if err := m.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 3); err != nil { // the sentences
+		t.Fatal(err)
+	}
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insIdx, movIdx := -1, -1
+	for i, op := range res.Script {
+		switch op.Kind {
+		case edit.Insert:
+			insIdx = i
+		case edit.Move:
+			movIdx = i
+		}
+	}
+	if insIdx < 0 || movIdx < 0 || insIdx > movIdx {
+		t.Fatalf("expected insert before move, script: %v", res.Script)
+	}
+	if _, err := res.ApplyToOld(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+// TestDeepTreeStress exercises the recursion paths on a deep chain and a
+// wide fan-out without blowing the stack or the position logic.
+func TestDeepTreeStress(t *testing.T) {
+	// Deep chain: 2000 levels, bottom value updated.
+	build := func(depth int, leafValue string) *tree.Tree {
+		tr := tree.NewWithRoot("l0", "")
+		cur := tr.Root()
+		for i := 1; i < depth; i++ {
+			cur = tr.AppendChild(cur, tree.Label(fmt.Sprintf("l%d", i)), "")
+		}
+		tr.SetValue(cur, leafValue)
+		return tr
+	}
+	t1 := build(2000, "old leaf value")
+	t2 := build(2000, "new leaf value entirely different")
+	m := identityMatching(t, t1, t2)
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Script) != 1 || res.Script[0].Kind != edit.Update {
+		t.Fatalf("deep chain script: %v", res.Script)
+	}
+
+	// Wide fan-out: 5000 children, one deleted in the middle.
+	w1 := tree.NewWithRoot("r", "")
+	for i := 0; i < 5000; i++ {
+		w1.AppendChild(w1.Root(), "c", fmt.Sprint(i))
+	}
+	w2 := tree.NewWithRoot("r", "")
+	for i := 0; i < 5000; i++ {
+		if i == 2500 {
+			continue
+		}
+		w2.AppendChild(w2.Root(), "c", fmt.Sprint(i))
+	}
+	m2 := match.NewMatching()
+	if err := m2.Add(w1.Root().ID(), w2.Root().ID()); err != nil {
+		t.Fatal(err)
+	}
+	id2 := int64(2) // w2 child IDs start at 2
+	for i := 0; i < 5000; i++ {
+		if i == 2500 {
+			continue
+		}
+		if err := m2.Add(w1.Root().Child(i+1).ID(), tree.NodeID(id2)); err != nil {
+			t.Fatal(err)
+		}
+		id2++
+	}
+	res2, err := EditScript(w1, w2, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Script) != 1 || res2.Script[0].Kind != edit.Delete {
+		t.Fatalf("wide tree script has %d ops (first: %v)", len(res2.Script), res2.Script[0])
+	}
+}
+
+// TestConformingToPartialMatching: nodes deliberately left out of M must
+// be deleted and re-inserted, never updated in place (conformance, §3.1).
+func TestConformingToPartialMatching(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  s "alpha"
+  s "beta"`)
+	t2 := tree.MustParse(`doc
+  s "alpha"
+  s "beta"`)
+	m := match.NewMatching()
+	if err := m.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The beta sentences are unmatched on purpose.
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del, _, _ := res.Script.Counts()
+	if ins != 1 || del != 1 {
+		t.Fatalf("script %v: want delete+insert for the unmatched pair", res.Script)
+	}
+	if err := res.Conforms(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomTotalMatchings drives EditScript with randomly generated
+// valid matchings between random trees sharing a label schema: every run
+// must converge and conform.
+func TestQuickRandomTotalMatchings(t *testing.T) {
+	labels := []tree.Label{"l0", "l1", "l2"}
+	build := func(rng *rand.Rand, n int) *tree.Tree {
+		tr := tree.NewWithRoot("root", "")
+		nodes := []*tree.Node{tr.Root()}
+		for i := 0; i < n; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			c := tr.AppendChild(parent, labels[rng.Intn(len(labels))], fmt.Sprint(rng.Intn(50)))
+			nodes = append(nodes, c)
+		}
+		return tr
+	}
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := build(rng, 5+rng.Intn(40))
+		t2 := build(rng, 5+rng.Intn(40))
+		// Random greedy matching: pair same-label nodes arbitrarily,
+		// always including the roots.
+		m := match.NewMatching()
+		if err := m.Add(t1.Root().ID(), t2.Root().ID()); err != nil {
+			t.Fatal(err)
+		}
+		byLabel := map[tree.Label][]*tree.Node{}
+		for _, n := range t2.PreOrder()[1:] {
+			byLabel[n.Label()] = append(byLabel[n.Label()], n)
+		}
+		for _, n := range t1.PreOrder()[1:] {
+			cands := byLabel[n.Label()]
+			if len(cands) == 0 || rng.Intn(3) == 0 {
+				continue
+			}
+			pick := cands[rng.Intn(len(cands))]
+			if m.MatchedNew(pick.ID()) {
+				continue
+			}
+			if err := m.Add(n.ID(), pick.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := EditScript(t1, t2, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Conforms(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := res.ApplyToOld(); err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"ladiff/internal/edit"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+	"ladiff/internal/zs"
+)
+
+// Matcher selects the Good Matching algorithm used by Diff.
+type Matcher int
+
+const (
+	// FastMatcher is Algorithm FastMatch (Figure 11), the default: a
+	// label-chain LCS pre-pass plus quadratic fallback, O((ne+e²)c+2lne).
+	FastMatcher Matcher = iota
+	// SimpleMatcher is Algorithm Match (Figure 10): full quadratic
+	// pairing, O(n²c + mn). Same result under Criterion 3; useful as a
+	// baseline and when chains are heavily reordered.
+	SimpleMatcher
+	// ZSMatcher derives the matching from an optimal Zhang–Shasha edit
+	// mapping — the §5 "best matching" route via [Zha95], O(n² log² n)
+	// or worse. It ignores the matching criteria (no thresholds), pairs
+	// nodes to globally minimize insert/delete/relabel cost, and is the
+	// thorough-but-expensive end of the paper's §2 trade-off. Use it on
+	// small trees or when Criterion 3 is badly violated.
+	ZSMatcher
+)
+
+// Options configures the end-to-end Diff pipeline.
+type Options struct {
+	// Match configures the matching criteria (comparer, thresholds) and
+	// receives work counters.
+	Match match.Options
+	// Matcher selects between FastMatch (default) and Match.
+	Matcher Matcher
+	// PostProcess enables the §8 repair pass that fixes sub-optimal
+	// matchings produced when Matching Criterion 3 does not hold.
+	PostProcess bool
+	// CostModel prices the resulting script for Result reporting. The
+	// zero value means the paper's unit-cost model.
+	CostModel *edit.CostModel
+}
+
+// Diff runs the full change-detection pipeline of the paper on old and
+// new: Good Matching (§5), optional post-processing (§8), then Algorithm
+// EditScript (§4). Neither input tree is modified.
+func Diff(old, new *tree.Tree, opts Options) (*Result, error) {
+	var (
+		m   *match.Matching
+		err error
+	)
+	switch opts.Matcher {
+	case FastMatcher:
+		m, err = match.FastMatch(old, new, opts.Match)
+	case SimpleMatcher:
+		m, err = match.Match(old, new, opts.Match)
+	case ZSMatcher:
+		m, err = zsMatching(old, new, opts.Match)
+	default:
+		return nil, fmt.Errorf("core: unknown matcher %d", opts.Matcher)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: matching: %w", err)
+	}
+	if opts.PostProcess {
+		if _, err := match.PostProcess(old, new, m, opts.Match); err != nil {
+			return nil, fmt.Errorf("core: post-processing: %w", err)
+		}
+	}
+	return EditScript(old, new, m)
+}
+
+// zsMatching builds a matching from an optimal Zhang–Shasha mapping
+// under zs.MatchingCosts: cross-label pairs are priced out, same-label
+// pairs priced by value distance, so every surviving pair is a legal
+// matching entry.
+func zsMatching(old, new *tree.Tree, opts match.Options) (*match.Matching, error) {
+	cmp := opts.Compare
+	pairs, _, err := zs.Mapping(old, new, zs.MatchingCosts(cmp))
+	if err != nil {
+		return nil, err
+	}
+	m := match.NewMatching()
+	for _, p := range pairs {
+		if p.Old.Label() != p.New.Label() {
+			// MatchingCosts makes this impossible unless delete+insert
+			// tied with a forbidden relabel; skip defensively.
+			continue
+		}
+		if err := m.Add(p.Old.ID(), p.New.ID()); err != nil {
+			return nil, fmt.Errorf("core: ZS mapping not one-to-one: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Cost returns the script's cost under the model configured in opts (or
+// the unit-cost model), as defined in §3.2.
+func (r *Result) Cost(model *edit.CostModel) float64 {
+	if model == nil {
+		m := edit.UnitCosts()
+		model = &m
+	}
+	return model.Cost(r.Script)
+}
+
+// Distances returns the unweighted edit distance d (operation count) and
+// the weighted edit distance e (§5.3) of the result's script, measured
+// against the old tree.
+func (r *Result) Distances() (d, e int, err error) {
+	base := r.Old
+	if r.RootsWrapped {
+		base = r.Old.Clone()
+		base.WrapRoot(dummyRootLabel, "")
+	}
+	d, e, _, err = r.Script.Distances(base)
+	return d, e, err
+}
+
+// Conforms verifies that the result's script conforms to the matching m
+// (§3.1): no operation deletes an old node matched by m, and no inserted
+// node occupies the place of a new node matched by m. It also checks that
+// the total matching extends m.
+func (r *Result) Conforms(m *match.Matching) error {
+	for _, op := range r.Script {
+		if op.Kind == edit.Delete && m.MatchedOld(op.Node) {
+			return fmt.Errorf("core: script deletes matched node %d", op.Node)
+		}
+	}
+	for newID := range r.InsertedNew {
+		if m.MatchedNew(newID) {
+			return fmt.Errorf("core: script inserts a copy of matched new node %d", newID)
+		}
+	}
+	if !r.Total.Contains(m) {
+		return fmt.Errorf("core: total matching does not extend the input matching")
+	}
+	return nil
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ladiff/internal/edit"
+	"ladiff/internal/gen"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+)
+
+// runningExample builds the trees of Figure 1 and the matching of Example
+// 5.1. T1 node IDs 1–10 and T2 node IDs 11–20 follow the paper; the trees
+// are reconstructed from the operations the paper reports for them:
+// the align phase emits one intra-parent move among the root's children,
+// the insert phase emits INS((21,S,g),3,3), and the delete phase removes
+// node 6.
+func runningExample(t *testing.T) (*tree.Tree, *tree.Tree, *match.Matching) {
+	t.Helper()
+	t1 := tree.New()
+	d := t1.SetRoot("D", "") // 1
+	p2 := t1.AppendChild(d, "P", "")
+	t1.AppendChild(p2, "S", "a") // 5... IDs assigned in creation order
+	t1.AppendChild(p2, "S", "b")
+	p3 := t1.AppendChild(d, "P", "")
+	t1.AppendChild(p3, "S", "c")
+	t1.AppendChild(p3, "S", "d")
+	t1.AppendChild(p3, "S", "e")
+	p4 := t1.AppendChild(d, "P", "")
+	t1.AppendChild(p4, "S", "f")
+
+	t2 := tree.New()
+	d2 := t2.SetRoot("D", "") // 1 in its own ID space
+	q12 := t2.AppendChild(d2, "P", "")
+	t2.AppendChild(q12, "S", "a")
+	q13 := t2.AppendChild(d2, "P", "")
+	t2.AppendChild(q13, "S", "f")
+	q14 := t2.AppendChild(d2, "P", "")
+	t2.AppendChild(q14, "S", "c")
+	t2.AppendChild(q14, "S", "d")
+	t2.AppendChild(q14, "S", "g")
+	t2.AppendChild(q14, "S", "e")
+
+	// The paper's matching, translated to our ID spaces. T1 IDs: 1=D,
+	// 2=P(a,b), 3=S a, 4=S b, 5=P(c,d,e), 6=S c, 7=S d, 8=S e,
+	// 9=P(f), 10=S f. T2 IDs: 1=D, 2=P(a), 3=S a, 4=P(f), 5=S f,
+	// 6=P(c,d,g,e), 7=S c, 8=S d, 9=S g, 10=S e.
+	m := match.NewMatching()
+	pairs := [][2]tree.NodeID{
+		{1, 1},  // D–D (paper: 1–11)
+		{2, 2},  // P(a,b)–P(a) (paper: 2–12)
+		{3, 3},  // a–a (paper: 5–15)
+		{5, 6},  // P(c,d,e)–P(c,d,g,e) (paper: 3–14)
+		{6, 7},  // c–c (paper: 7–16)
+		{7, 8},  // d–d (paper: 8–18)
+		{8, 10}, // e–e (paper: 9–19)
+		{9, 4},  // P(f)–P(f) (paper: 4–13)
+		{10, 5}, // f–f (paper: 10–17)
+	}
+	for _, p := range pairs {
+		if err := m.Add(p[0], p[1]); err != nil {
+			t.Fatalf("building paper matching: %v", err)
+		}
+	}
+	if err := m.Validate(t1, t2); err != nil {
+		t.Fatalf("paper matching invalid: %v", err)
+	}
+	return t1, t2, m
+}
+
+func TestRunningExampleScript(t *testing.T) {
+	t1, t2, m := runningExample(t)
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatalf("EditScript: %v", err)
+	}
+	if res.RootsWrapped {
+		t.Fatalf("roots were matched; no wrapping expected")
+	}
+	ins, del, upd, mov := res.Script.Counts()
+	// The paper's walkthrough (§4.1): one align-phase move among the
+	// root's children, one insert of the new sentence "g", one delete of
+	// the vanished sentence "b", no updates. (Two symmetric one-move
+	// alignments exist — the paper moves P(f), Myers' LCS may keep it and
+	// move P(c,d,e) instead — both are minimum cost.)
+	if ins != 1 || del != 1 || upd != 0 || mov != 1 {
+		t.Fatalf("script %v: got ins=%d del=%d upd=%d mov=%d, want 1,1,0,1", res.Script, ins, del, upd, mov)
+	}
+	if !tree.Isomorphic(res.Transformed, t2) {
+		t.Fatalf("transformed tree not isomorphic to T2:\n%v\nvs\n%v", res.Transformed, t2)
+	}
+	if err := res.Conforms(m); err != nil {
+		t.Fatalf("script does not conform: %v", err)
+	}
+	// The insert must be INS((·,S,"g"), P(c,d,e)=node 5, position 3),
+	// exactly as in §4.1 (paper wrote INS((21,S,g),3,3) in its IDs).
+	var insOp *edit.Op
+	for i := range res.Script {
+		if res.Script[i].Kind == edit.Insert {
+			insOp = &res.Script[i]
+		}
+	}
+	if insOp == nil || insOp.Label != "S" || insOp.Value != "g" || insOp.Parent != 5 || insOp.Pos != 3 {
+		t.Fatalf("insert op = %v, want INS((·,S,g),5,3)", insOp)
+	}
+	// The delete must remove sentence "b" (T1 node 4 in our ID space).
+	for _, op := range res.Script {
+		if op.Kind == edit.Delete && op.Node != 4 {
+			t.Fatalf("deleted node %d, want 4 (sentence b)", op.Node)
+		}
+	}
+	if _, err := res.ApplyToOld(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestRunningExampleViaFastMatch(t *testing.T) {
+	// A variant of the running example in which every internal pair
+	// strictly clears Matching Criterion 2. (In the paper's own Figure 1,
+	// the pair (2,12) has |common|/max(|x|,|y|) = 1/2, which does not
+	// strictly exceed any admissible t ≥ ½; we give that paragraph one
+	// more shared sentence so content-based matching can find it.)
+	t1 := tree.MustParse(`D
+  P
+    S "a"
+    S "b"
+    S "a2"
+  P
+    S "c"
+    S "d"
+    S "e"
+  P
+    S "f"`)
+	t2 := tree.MustParse(`D
+  P
+    S "a"
+    S "a2"
+  P
+    S "f"
+  P
+    S "c"
+    S "d"
+    S "g"
+    S "e"`)
+	res, err := Diff(t1, t2, Options{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if !tree.Isomorphic(res.Transformed, t2) {
+		t.Fatalf("pipeline result not isomorphic to T2")
+	}
+	ins, del, upd, mov := res.Script.Counts()
+	if ins != 1 || del != 1 || upd != 0 || mov != 1 {
+		t.Fatalf("pipeline script %v: got ins=%d del=%d upd=%d mov=%d, want 1,1,0,1", res.Script, ins, del, upd, mov)
+	}
+}
+
+// example31 reconstructs a tree consistent with Example 3.1 / Figure 3:
+// applying INS((11,Sec,foo),1,4), MOV(5,11,1), DEL(2), UPD(9,baz)
+// transforms it into the final tree.
+func example31(t *testing.T) (*tree.Tree, *tree.Tree, *match.Matching) {
+	t.Helper()
+	t1 := tree.New()
+	root := t1.SetRoot("D", "")        // 1
+	t1.AppendChild(root, "S", "gone")  // 2 (deleted)
+	p := t1.AppendChild(root, "P", "") // 3
+	sub := t1.AppendChild(p, "P", "")  // 4 — the moved subtree's parent stays
+	t1.AppendChild(sub, "S", "a")      // 5
+	t1.AppendChild(sub, "S", "b")      // 6
+	t1.AppendChild(root, "S", "bar")   // 7 (updated to baz)
+
+	t2 := tree.New()
+	root2 := t2.SetRoot("D", "")               // 1
+	p2 := t2.AppendChild(root2, "P", "")       // 2 (partner of 3)
+	t2.AppendChild(root2, "S", "baz")          // 3 (partner of 7, updated)
+	sec := t2.AppendChild(root2, "Sec", "foo") // 4 (inserted)
+	sub2 := t2.AppendChild(sec, "P", "")       // 5 (partner of 4, moved under Sec)
+	t2.AppendChild(sub2, "S", "a")             // 6
+	t2.AppendChild(sub2, "S", "b")             // 7
+	_ = p2
+
+	m := match.NewMatching()
+	for _, pr := range [][2]tree.NodeID{{1, 1}, {3, 2}, {4, 5}, {5, 6}, {6, 7}, {7, 3}} {
+		if err := m.Add(pr[0], pr[1]); err != nil {
+			t.Fatalf("building matching: %v", err)
+		}
+	}
+	if err := m.Validate(t1, t2); err != nil {
+		t.Fatalf("matching invalid: %v", err)
+	}
+	return t1, t2, m
+}
+
+func TestExample31Script(t *testing.T) {
+	t1, t2, m := example31(t)
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatalf("EditScript: %v", err)
+	}
+	ins, del, upd, mov := res.Script.Counts()
+	if ins != 1 || del != 1 || upd != 1 || mov != 1 {
+		t.Fatalf("script %v: got ins=%d del=%d upd=%d mov=%d, want one of each", res.Script, ins, del, upd, mov)
+	}
+	if !tree.Isomorphic(res.Transformed, t2) {
+		t.Fatalf("transformed tree not isomorphic")
+	}
+	// The minimum cost: the alternative script of §3.2 that replaces the
+	// move with deletes/inserts has 3 deletes + 3 inserts + 1 insert + 1
+	// update = strictly more than ours.
+	model := edit.UnitCosts()
+	naive := 7.0 // INS Sec + DEL×3 + INS×2 + UPD(9)≈same update cost
+	if got := model.Cost(res.Script); got >= naive {
+		t.Fatalf("script cost %v not below the naive alternative %v", got, naive)
+	}
+}
+
+func TestIdenticalTreesEmptyScript(t *testing.T) {
+	doc := gen.Document(gen.DocParams{Seed: 7})
+	copy := doc.Clone()
+	res, err := Diff(doc, copy, Options{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(res.Script) != 0 {
+		t.Fatalf("identical trees produced non-empty script: %v", res.Script)
+	}
+}
+
+func TestUnmatchedRootsAreWrapped(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  sentence "alpha beta"`)
+	t2 := tree.MustParse(`report
+  sentence "alpha beta"`)
+	// Different root labels: no matcher can match them, so EditScript
+	// must wrap the roots and still produce an applying script.
+	m := match.NewMatching()
+	if err := m.Add(2, 2); err != nil { // the sentences
+		t.Fatal(err)
+	}
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatalf("EditScript: %v", err)
+	}
+	if !res.RootsWrapped {
+		t.Fatalf("expected wrapped roots")
+	}
+	if _, err := res.ApplyToOld(); err != nil {
+		t.Fatalf("replay on wrapped tree: %v", err)
+	}
+}
+
+func TestAlignChildrenReversal(t *testing.T) {
+	// A pure reversal of five children: LCS keeps one, so exactly four
+	// intra-parent moves are needed (Lemma C.1).
+	t1 := tree.MustParse(`doc
+  s "a"
+  s "b"
+  s "c"
+  s "d"
+  s "e"`)
+	t2 := tree.MustParse(`doc
+  s "e"
+  s "d"
+  s "c"
+  s "b"
+  s "a"`)
+	res, err := Diff(t1, t2, Options{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	ins, del, upd, mov := res.Script.Counts()
+	if ins != 0 || del != 0 || upd != 0 || mov != 4 {
+		t.Fatalf("script %v: got ins=%d del=%d upd=%d mov=%d, want 0,0,0,4", res.Script, ins, del, upd, mov)
+	}
+}
+
+func TestInsertAtFront(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  s "b"
+  s "c"`)
+	t2 := tree.MustParse(`doc
+  s "a"
+  s "b"
+  s "c"`)
+	res, err := Diff(t1, t2, Options{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	ins, del, upd, mov := res.Script.Counts()
+	if ins != 1 || del != 0 || upd != 0 || mov != 0 {
+		t.Fatalf("script %v: want a single insert", res.Script)
+	}
+	if res.Script[0].Pos != 1 {
+		t.Fatalf("front insert got position %d, want 1", res.Script[0].Pos)
+	}
+}
+
+func TestMoveSubtreeAcrossParents(t *testing.T) {
+	// Both the source and the destination section must keep a clear
+	// majority of their content for Criterion 2 to re-identify them after
+	// the paragraph move: the source drops from 6 to 4 leaves (4/6 > t)
+	// and the destination grows from 4 to 6 (4/6 > t).
+	t1 := tree.MustParse(`doc
+  section "one"
+    paragraph
+      sentence "alpha one"
+      sentence "alpha two"
+    paragraph
+      sentence "beta one"
+      sentence "beta two"
+    paragraph
+      sentence "gamma one"
+      sentence "gamma two"
+  section "two"
+    paragraph
+      sentence "delta one"
+      sentence "delta two"
+    paragraph
+      sentence "epsilon one"
+      sentence "epsilon two"`)
+	t2 := tree.MustParse(`doc
+  section "one"
+    paragraph
+      sentence "alpha one"
+      sentence "alpha two"
+    paragraph
+      sentence "gamma one"
+      sentence "gamma two"
+  section "two"
+    paragraph
+      sentence "delta one"
+      sentence "delta two"
+    paragraph
+      sentence "beta one"
+      sentence "beta two"
+    paragraph
+      sentence "epsilon one"
+      sentence "epsilon two"`)
+	res, err := Diff(t1, t2, Options{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	ins, del, upd, mov := res.Script.Counts()
+	if ins != 0 || del != 0 || upd != 0 || mov != 1 {
+		t.Fatalf("script %v: want exactly one subtree move", res.Script)
+	}
+}
+
+// TestEditScriptPropertyPerturbed drives EditScript with the ground-truth
+// matching over hundreds of seeded random document perturbations and
+// checks the paper's end-to-end guarantees: the script applies cleanly,
+// the result is isomorphic to the new tree, the script conforms to the
+// input matching, the total matching extends it, and the tree invariants
+// survive.
+func TestEditScriptPropertyPerturbed(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			doc := gen.Document(gen.DocParams{Seed: seed, Sections: 3})
+			pert, err := gen.Perturb(doc, gen.Mix(seed*31+7, int(5+seed%13)))
+			if err != nil {
+				t.Fatalf("perturb: %v", err)
+			}
+			res, err := EditScript(doc, pert.New, pert.Truth)
+			if err != nil {
+				t.Fatalf("EditScript: %v", err)
+			}
+			if !tree.Isomorphic(res.Transformed, pert.New) {
+				t.Fatalf("not isomorphic after script")
+			}
+			if err := res.Conforms(pert.Truth); err != nil {
+				t.Fatalf("conformance: %v", err)
+			}
+			replayed, err := res.ApplyToOld()
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if err := replayed.Validate(); err != nil {
+				t.Fatalf("replayed tree invalid: %v", err)
+			}
+			if err := res.Transformed.Validate(); err != nil {
+				t.Fatalf("transformed tree invalid: %v", err)
+			}
+			// Cost sanity: never worse than delete-everything +
+			// insert-everything (minus the shared root).
+			model := edit.UnitCosts()
+			model.Compare = func(a, b string) float64 { return 1 } // neutral update pricing
+			naive := float64(doc.Len() + pert.New.Len() - 2)
+			if got := model.Cost(res.Script); got > naive {
+				t.Fatalf("script cost %v exceeds naive rebuild %v", got, naive)
+			}
+		})
+	}
+}
+
+// TestDiffPropertyPipeline runs the full pipeline (FastMatch + EditScript)
+// over seeded perturbations, checking the end-to-end guarantee without
+// any oracle matching.
+func TestDiffPropertyPipeline(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			doc := gen.Document(gen.DocParams{Seed: seed + 1000, Sections: 2})
+			pert, err := gen.Perturb(doc, gen.Mix(seed*17+3, int(3+seed%9)))
+			if err != nil {
+				t.Fatalf("perturb: %v", err)
+			}
+			for _, matcher := range []Matcher{FastMatcher, SimpleMatcher} {
+				res, err := Diff(doc, pert.New, Options{Matcher: matcher})
+				if err != nil {
+					t.Fatalf("Diff(matcher=%d): %v", matcher, err)
+				}
+				if !tree.Isomorphic(res.Transformed, pert.New) {
+					t.Fatalf("matcher %d: not isomorphic", matcher)
+				}
+				if _, err := res.ApplyToOld(); err != nil {
+					t.Fatalf("matcher %d: replay: %v", matcher, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDiffRejectsEmptyTrees(t *testing.T) {
+	doc := gen.Document(gen.DocParams{Seed: 1})
+	if _, err := Diff(doc, tree.New(), Options{}); err == nil {
+		t.Fatalf("expected error for empty new tree")
+	}
+	if _, err := Diff(tree.New(), doc, Options{}); err == nil {
+		t.Fatalf("expected error for empty old tree")
+	}
+	if _, err := EditScript(tree.New(), tree.New(), nil); err == nil {
+		t.Fatalf("expected error for two empty trees")
+	}
+}
+
+// TestMatchedRootValueUpdate is a regression test: when the input roots
+// are matched directly (no dummy wrapping), a changed root value must
+// still produce an UPD — Figure 8's step 2c skips roots only because the
+// paper assumes wrapped roots.
+func TestMatchedRootValueUpdate(t *testing.T) {
+	t1 := tree.NewWithRoot("s", "only sentence here now")
+	t2 := tree.NewWithRoot("s", "only sentence here changed")
+	m := match.NewMatching()
+	if err := m.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RootsWrapped {
+		t.Fatal("matched roots should not be wrapped")
+	}
+	if len(res.Script) != 1 || res.Script[0].Kind != edit.Update {
+		t.Fatalf("script = %v, want a single root update", res.Script)
+	}
+	if !tree.Isomorphic(res.Transformed, t2) {
+		t.Fatal("not isomorphic")
+	}
+}

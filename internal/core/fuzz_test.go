@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/textdoc"
+	"ladiff/internal/tree"
+)
+
+// FuzzDiffText runs the full pipeline on arbitrary pairs of plain-text
+// documents: it must never panic, and every successful diff must satisfy
+// the end-to-end guarantee (transformed ≅ new, replay succeeds).
+func FuzzDiffText(f *testing.F) {
+	f.Add("One sentence here. Two sentences here.", "One sentence here. Three sentences now.")
+	f.Add("", "Anything at all.")
+	f.Add("Same. Same. Same.", "Same. Same. Same.")
+	f.Add("A b c d e. F g h i j.\n\nK l m n o.", "K l m n o.\n\nA b c d e.")
+	f.Add("dup dup dup. dup dup dup.", "dup dup dup.")
+	f.Add("x.", "y.")
+	f.Fuzz(func(t *testing.T, oldSrc, newSrc string) {
+		oldT := textdoc.Parse(oldSrc)
+		newT := textdoc.Parse(newSrc)
+		if oldT.Root() == nil || newT.Root() == nil {
+			return
+		}
+		res, err := core.Diff(oldT, newT, core.Options{})
+		if err != nil {
+			// Only the documented failure (empty trees) is acceptable,
+			// and we excluded it above.
+			t.Fatalf("Diff failed: %v\nold: %q\nnew: %q", err, oldSrc, newSrc)
+		}
+		// When the roots could not be matched the algorithm wraps both
+		// trees (§4.1) and Transformed carries the dummy root; ApplyToOld
+		// verifies isomorphism against the correspondingly wrapped new
+		// tree in either case.
+		if !res.RootsWrapped && !tree.Isomorphic(res.Transformed, newT) {
+			t.Fatalf("not isomorphic\nold: %q\nnew: %q\nscript: %v", oldSrc, newSrc, res.Script)
+		}
+		if _, err := res.ApplyToOld(); err != nil {
+			t.Fatalf("replay failed: %v\nold: %q\nnew: %q", err, oldSrc, newSrc)
+		}
+	})
+}

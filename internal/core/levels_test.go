@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ladiff/internal/edit"
+	"ladiff/internal/gen"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+)
+
+func TestAllLevelsConverge(t *testing.T) {
+	doc := gen.Document(gen.DocParams{Seed: 60, Sections: 2, MaxParagraphs: 3, MaxSentences: 4})
+	pert, err := gen.Perturb(doc, gen.Mix(61, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []OptimalityLevel{LevelFast, LevelRepair, LevelThorough, LevelOptimal} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			res, err := DiffAtLevel(doc, pert.New, k, match.Options{})
+			if err != nil {
+				t.Fatalf("DiffAtLevel: %v", err)
+			}
+			if !tree.Isomorphic(res.Transformed, pert.New) {
+				t.Fatal("pipeline did not converge")
+			}
+			if _, err := res.ApplyToOld(); err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+		})
+	}
+	if _, err := DiffAtLevel(doc, pert.New, OptimalityLevel(99), match.Options{}); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+// TestResultReporting exercises the Result accessors: cost under the
+// default and explicit models, the §5.3 distances, and the O(ND) work
+// counters.
+func TestResultReporting(t *testing.T) {
+	doc := gen.Document(gen.DocParams{Seed: 41, Sections: 2})
+	pert, err := gen.Perturb(doc, gen.Mix(43, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diff(doc, pert.New, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := res.Cost(nil); cost <= 0 {
+		t.Fatalf("cost = %v", cost)
+	}
+	model := edit.UnitCosts()
+	if cost := res.Cost(&model); cost <= 0 {
+		t.Fatalf("explicit-model cost = %v", cost)
+	}
+	d, e, err := res.Distances()
+	if err != nil || d != len(res.Script) || e < 0 {
+		t.Fatalf("distances = %d, %d, %v", d, e, err)
+	}
+	if res.Work.Total() <= 0 {
+		t.Fatalf("work = %+v", res.Work)
+	}
+	if res.Work.Visits == 0 || res.Work.Ops != int64(len(res.Script)) {
+		t.Fatalf("work counters inconsistent: %+v vs %d ops", res.Work, len(res.Script))
+	}
+}
+
+// TestZSMatcherSurvivesDuplicates: duplicate-heavy inputs break Criterion
+// 3 and can make FastMatch sub-optimal; the ZS-backed level must still
+// converge and should never be costlier than the naive rebuild.
+func TestZSMatcherSurvivesDuplicates(t *testing.T) {
+	doc := gen.Document(gen.DocParams{
+		Seed: 70, Sections: 2, MaxParagraphs: 3, MaxSentences: 4,
+		DuplicateRate: 0.5, Vocabulary: 40, MinWords: 3, MaxWords: 5,
+	})
+	pert, err := gen.Perturb(doc, gen.Mix(71, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiffAtLevel(doc, pert.New, LevelOptimal, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Isomorphic(res.Transformed, pert.New) {
+		t.Fatal("ZS matcher did not converge")
+	}
+	model := edit.UnitCosts()
+	model.Compare = func(a, b string) float64 { return 1 }
+	naive := float64(doc.Len() + pert.New.Len() - 2)
+	if got := model.Cost(res.Script); got > naive {
+		t.Fatalf("cost %v exceeds naive %v", got, naive)
+	}
+}
+
+// TestLevelsMonotoneQuality: on a workload engineered to defeat the
+// criteria-based matchers (near-duplicate sentences moved across
+// paragraphs), higher levels must never produce a costlier script.
+func TestLevelsMonotoneQuality(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			doc := gen.Document(gen.DocParams{
+				Seed: seed + 90, Sections: 2, MaxParagraphs: 2, MaxSentences: 3,
+				DuplicateRate: 0.3, Vocabulary: 60, MinWords: 4, MaxWords: 6,
+			})
+			pert, err := gen.Perturb(doc, gen.Mix(seed+91, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := edit.UnitCosts()
+			cost := func(k OptimalityLevel) float64 {
+				res, err := DiffAtLevel(doc, pert.New, k, match.Options{})
+				if err != nil {
+					t.Fatalf("%v: %v", k, err)
+				}
+				return model.Cost(res.Script)
+			}
+			fast := cost(LevelFast)
+			repair := cost(LevelRepair)
+			optimal := cost(LevelOptimal)
+			if repair > fast+1e-9 {
+				t.Fatalf("repair level worsened cost: %v > %v", repair, fast)
+			}
+			// The ZS level optimizes a different operation set (no
+			// moves), so it is not pointwise dominant; allow slack of
+			// one unit-cost move but catch gross regressions.
+			if optimal > fast+1.0+1e-9 {
+				t.Fatalf("optimal level much worse than fast: %v > %v", optimal, fast)
+			}
+		})
+	}
+}

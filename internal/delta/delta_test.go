@@ -1,0 +1,287 @@
+package delta_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/gen"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+)
+
+func mustDiff(t *testing.T, t1, t2 *tree.Tree) *core.Result {
+	t.Helper()
+	res, err := core.Diff(t1, t2, core.Options{})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	return res
+}
+
+func mustBuild(t *testing.T, res *core.Result) *delta.Tree {
+	t.Helper()
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := dt.Validate(res); err != nil {
+		t.Fatalf("delta tree invalid: %v\n%v", err, dt)
+	}
+	return dt
+}
+
+func TestIdenticalTreesAllIdentity(t *testing.T) {
+	doc := gen.Document(gen.DocParams{Seed: 1})
+	res := mustDiff(t, doc, doc.Clone())
+	dt := mustBuild(t, res)
+	s := dt.Stats()
+	if s.Identity != doc.Len() || s.Updated+s.Inserted+s.Deleted+s.MovePairs != 0 {
+		t.Fatalf("stats = %+v for identical trees", s)
+	}
+}
+
+func TestUpdateAnnotation(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  s "the quick brown fox jumps over the dog"`)
+	t2 := tree.MustParse(`doc
+  s "the quick brown fox leaps over the dog"`)
+	res := mustDiff(t, t1, t2)
+	dt := mustBuild(t, res)
+	s := dt.Stats()
+	if s.Updated != 1 {
+		t.Fatalf("stats = %+v, want one update\n%v", s, dt)
+	}
+	upd := dt.Root.Children[0]
+	if upd.Kind != delta.Updated || !strings.Contains(upd.OldValue, "jumps") || !strings.Contains(upd.Value, "leaps") {
+		t.Fatalf("update node = %+v", upd)
+	}
+}
+
+func TestInsertAndDeleteAnnotations(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  s "kept sentence one here"
+  s "doomed sentence totally unrelated"
+  s "kept sentence two here"`)
+	t2 := tree.MustParse(`doc
+  s "kept sentence one here"
+  s "brand new sentence appears"
+  s "kept sentence two here"`)
+	res := mustDiff(t, t1, t2)
+	dt := mustBuild(t, res)
+	s := dt.Stats()
+	if s.Inserted != 1 || s.Deleted != 1 {
+		t.Fatalf("stats = %+v, want one insert + one delete\n%v", s, dt)
+	}
+	// The tombstone must sit adjacent to the content it followed: after
+	// "kept sentence one here".
+	kids := dt.Root.Children
+	if len(kids) != 4 {
+		t.Fatalf("root has %d children, want 4 (3 content + tombstone)\n%v", len(kids), dt)
+	}
+	var seq []string
+	for _, k := range kids {
+		seq = append(seq, k.Kind.String())
+	}
+	got := strings.Join(seq, " ")
+	if got != "IDN DEL INS IDN" && got != "IDN INS DEL IDN" {
+		t.Fatalf("annotation order = %q\n%v", got, dt)
+	}
+}
+
+func TestMovePairAnnotations(t *testing.T) {
+	// Each paragraph keeps a strict majority of its leaves across the
+	// move so Criterion 2 re-identifies both (2/3 > 0.6 on each side).
+	t1 := tree.MustParse(`doc
+  para
+    s "alpha one alpha one"
+    s "alpha two alpha two"
+    s "beta beta beta beta"
+  para
+    s "gamma gamma gamma gamma"
+    s "delta delta delta delta"`)
+	t2 := tree.MustParse(`doc
+  para
+    s "alpha one alpha one"
+    s "alpha two alpha two"
+  para
+    s "gamma gamma gamma gamma"
+    s "beta beta beta beta"
+    s "delta delta delta delta"`)
+	res := mustDiff(t, t1, t2)
+	dt := mustBuild(t, res)
+	s := dt.Stats()
+	if s.MovePairs != 1 || s.Inserted != 0 || s.Deleted != 0 {
+		t.Fatalf("stats = %+v, want exactly one move pair\n%v", s, dt)
+	}
+	// Source and destination share a MoveRef and the source links to the
+	// destination.
+	var src, dst *delta.Node
+	var walk func(n *delta.Node)
+	walk = func(n *delta.Node) {
+		switch n.Kind {
+		case delta.MoveSource:
+			src = n
+		case delta.MoveDest:
+			dst = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(dt.Root)
+	if src == nil || dst == nil || src.MoveRef != dst.MoveRef || src.Dest() != dst {
+		t.Fatalf("move pair not linked: src=%+v dst=%+v", src, dst)
+	}
+	if !strings.Contains(dst.Value, "beta") {
+		t.Fatalf("moved content = %q", dst.Value)
+	}
+}
+
+func TestMovePlusUpdate(t *testing.T) {
+	t1 := tree.MustParse(`doc
+  para
+    s "the exercises are sprinkled through this manual for you"
+    s "filler one filler one filler"
+  para
+    s "filler two filler two filler"`)
+	t2 := tree.MustParse(`doc
+  para
+    s "filler one filler one filler"
+  para
+    s "filler two filler two filler"
+    s "the exercises are sprinkled through this manual for them"`)
+	res := mustDiff(t, t1, t2)
+	dt := mustBuild(t, res)
+	var dst *delta.Node
+	var walk func(n *delta.Node)
+	walk = func(n *delta.Node) {
+		if n.Kind == delta.MoveDest {
+			dst = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(dt.Root)
+	if dst == nil {
+		t.Fatalf("no move destination\n%v", dt)
+	}
+	if !strings.Contains(dst.Value, "for them") || !strings.Contains(dst.OldValue, "for you") {
+		t.Fatalf("moved+updated node: value=%q old=%q", dst.Value, dst.OldValue)
+	}
+}
+
+// TestExample31DeltaTree reconstructs Example 3.1 (Figure 12): the delta
+// tree for the script INS(Sec), MOV, DEL, UPD must carry one annotation of
+// each kind.
+func TestExample31DeltaTree(t *testing.T) {
+	t1 := tree.New()
+	root := t1.SetRoot("D", "")
+	t1.AppendChild(root, "S", "gone")
+	p := t1.AppendChild(root, "P", "")
+	sub := t1.AppendChild(p, "P", "")
+	t1.AppendChild(sub, "S", "a")
+	t1.AppendChild(sub, "S", "b")
+	t1.AppendChild(root, "S", "bar")
+
+	t2 := tree.New()
+	root2 := t2.SetRoot("D", "")
+	t2.AppendChild(root2, "P", "")
+	t2.AppendChild(root2, "S", "baz")
+	sec := t2.AppendChild(root2, "Sec", "foo")
+	sub2 := t2.AppendChild(sec, "P", "")
+	t2.AppendChild(sub2, "S", "a")
+	t2.AppendChild(sub2, "S", "b")
+
+	m := match.NewMatching()
+	for _, pr := range [][2]tree.NodeID{{1, 1}, {3, 2}, {4, 5}, {5, 6}, {6, 7}, {7, 3}} {
+		if err := m.Add(pr[0], pr[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := core.EditScript(t1, t2, m)
+	if err != nil {
+		t.Fatalf("EditScript: %v", err)
+	}
+	dt := mustBuild(t, res)
+	s := dt.Stats()
+	if s.Inserted != 1 || s.Deleted != 1 || s.Updated != 1 || s.MovePairs != 1 {
+		t.Fatalf("stats = %+v, want one of each kind\n%v", s, dt)
+	}
+}
+
+func TestUnmatchedRootsSyntheticContainer(t *testing.T) {
+	t1 := tree.MustParse(`article
+  s "shared body sentence here"`)
+	t2 := tree.MustParse(`report
+  s "shared body sentence here"`)
+	res := mustDiff(t, t1, t2)
+	dt := mustBuild(t, res)
+	if dt.Root.Label != "delta-root" {
+		t.Fatalf("expected synthetic delta root, got %v", dt.Root.Label)
+	}
+}
+
+func TestDeletedSubtreePreservesContent(t *testing.T) {
+	// The document keeps 4 of its 6 leaves (4/6 > 0.6), so the root and
+	// the surviving section stay matched while the doomed section becomes
+	// a tombstone subtree.
+	t1 := tree.MustParse(`doc
+  section "kept"
+    s "kept sentence body one"
+    s "kept sentence body two"
+    s "kept sentence body three"
+    s "kept sentence body four"
+  section "doomed"
+    s "doomed first sentence body"
+    s "doomed second sentence body"`)
+	t2 := tree.MustParse(`doc
+  section "kept"
+    s "kept sentence body one"
+    s "kept sentence body two"
+    s "kept sentence body three"
+    s "kept sentence body four"`)
+	res := mustDiff(t, t1, t2)
+	dt := mustBuild(t, res)
+	s := dt.Stats()
+	if s.Deleted != 3 { // section + two sentences
+		t.Fatalf("deleted nodes = %d, want 3\n%v", s.Deleted, dt)
+	}
+	// The tombstone preserves the deleted text for display.
+	if !strings.Contains(dt.String(), "doomed second sentence body") {
+		t.Fatalf("tombstone lost content:\n%v", dt)
+	}
+}
+
+func TestDeltaPropertyRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			doc := gen.Document(gen.DocParams{Seed: seed + 500, Sections: 3, Vocabulary: 4000})
+			pert, err := gen.Perturb(doc, gen.Mix(seed*7+1, int(2+seed%11)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.EditScript(doc, pert.New, pert.Truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt, err := delta.Build(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dt.Validate(res); err != nil {
+				t.Fatalf("round trip failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestBuildNilResult(t *testing.T) {
+	if _, err := delta.Build(nil); err == nil {
+		t.Fatal("expected error for nil result")
+	}
+}

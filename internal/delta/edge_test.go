@@ -1,0 +1,90 @@
+package delta_test
+
+import (
+	"strings"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/htmldoc"
+	"ladiff/internal/latex"
+	"ladiff/internal/textdoc"
+	"ladiff/internal/tree"
+)
+
+// wrappedFixture produces a delta tree whose roots could not be matched
+// (different root labels), exercising the synthetic delta-root path.
+func wrappedFixture(t *testing.T) *delta.Tree {
+	t.Helper()
+	t1 := tree.MustParse(`article
+  paragraph
+    sentence "shared body sentence lives here"`)
+	t2 := tree.MustParse(`report
+  paragraph
+    sentence "shared body sentence lives here"`)
+	res, err := core.Diff(t1, t2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Validate(res); err != nil {
+		t.Fatalf("wrapped delta invalid: %v\n%v", err, dt)
+	}
+	if dt.Root.Label != "delta-root" {
+		t.Fatalf("expected synthetic root, got %v", dt.Root.Label)
+	}
+	return dt
+}
+
+// TestWrappedRootsThroughRenderers: every renderer must cope with the
+// synthetic delta-root container without dropping content.
+func TestWrappedRootsThroughRenderers(t *testing.T) {
+	dt := wrappedFixture(t)
+	if out := latex.Render(dt); !strings.Contains(out, "shared body sentence lives here") {
+		t.Fatalf("latex renderer lost content:\n%s", out)
+	}
+	if out := htmldoc.RenderDelta(dt); !strings.Contains(out, "shared body sentence lives here") {
+		t.Fatalf("html renderer lost content:\n%s", out)
+	}
+	if out := textdoc.RenderDelta(dt); !strings.Contains(out, "shared body sentence lives here") {
+		t.Fatalf("text renderer lost content:\n%s", out)
+	}
+}
+
+// TestWrappedRootsQueries: the synthetic root participates in path
+// queries under its own label.
+func TestWrappedRootsQueries(t *testing.T) {
+	dt := wrappedFixture(t)
+	hits, err := dt.SelectExpr("delta-root/*/*/sentence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sentence appears under both the tombstoned old root and the
+	// inserted new root.
+	if len(hits) == 0 {
+		t.Fatalf("no hits through the synthetic root\n%v", dt)
+	}
+}
+
+func TestSingleNodeTrees(t *testing.T) {
+	t1 := tree.NewWithRoot("s", "only sentence here now")
+	t2 := tree.NewWithRoot("s", "only sentence here changed")
+	res, err := core.Diff(t1, t2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Validate(res); err != nil {
+		t.Fatalf("single-node delta invalid: %v", err)
+	}
+	s := dt.Stats()
+	if s.Updated != 1 {
+		t.Fatalf("stats = %+v, want a single update\n%v", s, dt)
+	}
+}

@@ -1,0 +1,142 @@
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ladiff/internal/tree"
+)
+
+// jsonNode is the wire form of a delta node. Move pairing is carried by
+// the numeric ref, which UnmarshalJSON uses to relink source → dest.
+type jsonNode struct {
+	Kind     string     `json:"kind"`
+	Label    string     `json:"label"`
+	Value    string     `json:"value,omitempty"`
+	OldValue string     `json:"oldValue,omitempty"`
+	MoveRef  int        `json:"moveRef,omitempty"`
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	Identity:   "identity",
+	Updated:    "updated",
+	Inserted:   "inserted",
+	Deleted:    "deleted",
+	MoveSource: "moveSource",
+	MoveDest:   "moveDest",
+}
+
+var kindValues = map[string]Kind{}
+
+func init() {
+	for k, n := range kindNames {
+		kindValues[n] = k
+	}
+}
+
+// MarshalJSON encodes the delta tree for tooling (browsers, warehouse
+// loaders): nested nodes with string kinds and move refs.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if t.Root == nil {
+		return []byte("null"), nil
+	}
+	jn, err := toJSON(t.Root)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jn)
+}
+
+func toJSON(n *Node) (jsonNode, error) {
+	name, ok := kindNames[n.Kind]
+	if !ok {
+		return jsonNode{}, fmt.Errorf("delta: marshal of invalid kind %v", n.Kind)
+	}
+	jn := jsonNode{
+		Kind: name, Label: string(n.Label), Value: n.Value,
+		OldValue: n.OldValue, MoveRef: n.MoveRef,
+	}
+	for _, c := range n.Children {
+		cj, err := toJSON(c)
+		if err != nil {
+			return jsonNode{}, err
+		}
+		jn.Children = append(jn.Children, cj)
+	}
+	return jn, nil
+}
+
+// UnmarshalJSON decodes a delta tree, relinking move sources to their
+// destinations via the shared refs.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	if t.Root != nil {
+		return fmt.Errorf("delta: UnmarshalJSON into non-empty tree")
+	}
+	var jn jsonNode
+	if err := json.Unmarshal(data, &jn); err != nil {
+		return err
+	}
+	sources := map[int]*Node{}
+	dests := map[int]*Node{}
+	maxRef := 0
+	var build func(j jsonNode) (*Node, error)
+	build = func(j jsonNode) (*Node, error) {
+		kind, ok := kindValues[j.Kind]
+		if !ok {
+			return nil, fmt.Errorf("delta: unknown kind %q", j.Kind)
+		}
+		n := &Node{
+			Kind: kind, Label: tree.Label(j.Label), Value: j.Value,
+			OldValue: j.OldValue, MoveRef: j.MoveRef,
+		}
+		switch kind {
+		case MoveSource:
+			if j.MoveRef <= 0 {
+				return nil, fmt.Errorf("delta: move source without ref")
+			}
+			if sources[j.MoveRef] != nil {
+				return nil, fmt.Errorf("delta: duplicate move source ref %d", j.MoveRef)
+			}
+			sources[j.MoveRef] = n
+		case MoveDest:
+			if j.MoveRef <= 0 {
+				return nil, fmt.Errorf("delta: move destination without ref")
+			}
+			if dests[j.MoveRef] != nil {
+				return nil, fmt.Errorf("delta: duplicate move destination ref %d", j.MoveRef)
+			}
+			dests[j.MoveRef] = n
+		}
+		if j.MoveRef > maxRef {
+			maxRef = j.MoveRef
+		}
+		for _, cj := range j.Children {
+			c, err := build(cj)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	}
+	root, err := build(jn)
+	if err != nil {
+		return err
+	}
+	for ref, src := range sources {
+		dst := dests[ref]
+		if dst == nil {
+			return fmt.Errorf("delta: move source ref %d has no destination", ref)
+		}
+		src.dest = dst
+	}
+	for ref := range dests {
+		if sources[ref] == nil {
+			return fmt.Errorf("delta: move destination ref %d has no source", ref)
+		}
+	}
+	t.Root = root
+	t.Moves = len(sources)
+	return nil
+}

@@ -1,0 +1,203 @@
+package delta
+
+import (
+	"fmt"
+	"strings"
+
+	"ladiff/internal/tree"
+)
+
+// This file implements a small query facility over delta trees — the
+// "query and browsing languages for hierarchical data based on our edit
+// scripts and delta trees" the paper lists as ongoing work (§9, citing
+// [WU95]). Queries select annotated nodes by path and change kind, so a
+// warehouse or active-rule layer can ask questions like "which sentences
+// moved?" or "what was deleted under section X?" without walking the
+// structure by hand.
+//
+// Query syntax:
+//
+//	path        = segment { "/" segment }
+//	segment     = label | "*" | "**"
+//	query       = path [ "[" kind { "," kind } "]" ]
+//	kind        = "idn" | "upd" | "ins" | "del" | "mov" | "mrk" | "any" | "changed"
+//
+// Kind mnemonics follow the paper's annotations (§6): "mov" is the
+// tombstone at a moved node's old position (MOV), "mrk" the destination
+// carrying the content (MRK).
+//
+// "*" matches exactly one node of any label; "**" matches any (possibly
+// empty) chain of nodes. The kind filter applies to the final segment's
+// node; "changed" is shorthand for every kind except idn. The root node
+// is addressed by its label (or "*"); "**/x" finds x at any depth.
+//
+// Examples:
+//
+//	**/sentence[mrk]           — every moved sentence (destinations)
+//	**/sentence[changed]       — every sentence that changed in any way
+//	document/section[del]      — deleted top-level sections
+//	**/paragraph/sentence[upd] — updated sentences inside paragraphs
+type Query struct {
+	segments []string
+	kinds    map[Kind]bool // nil = any
+}
+
+// ParseQuery compiles a query expression.
+func ParseQuery(expr string) (*Query, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return nil, fmt.Errorf("delta: empty query")
+	}
+	q := &Query{}
+	if i := strings.IndexByte(expr, '['); i >= 0 {
+		if !strings.HasSuffix(expr, "]") {
+			return nil, fmt.Errorf("delta: query %q: unterminated kind filter", expr)
+		}
+		kinds := expr[i+1 : len(expr)-1]
+		expr = expr[:i]
+		q.kinds = make(map[Kind]bool)
+		for _, k := range strings.Split(kinds, ",") {
+			switch strings.TrimSpace(strings.ToLower(k)) {
+			case "idn":
+				q.kinds[Identity] = true
+			case "upd":
+				q.kinds[Updated] = true
+			case "ins":
+				q.kinds[Inserted] = true
+			case "del":
+				q.kinds[Deleted] = true
+			case "mov":
+				q.kinds[MoveSource] = true
+			case "mrk":
+				q.kinds[MoveDest] = true
+			case "changed":
+				for _, kk := range []Kind{Updated, Inserted, Deleted, MoveSource, MoveDest} {
+					q.kinds[kk] = true
+				}
+			case "any":
+				q.kinds = nil
+			case "":
+				return nil, fmt.Errorf("delta: query %q: empty kind", expr)
+			default:
+				return nil, fmt.Errorf("delta: query %q: unknown kind %q", expr, k)
+			}
+			if q.kinds == nil {
+				break
+			}
+		}
+	}
+	for _, seg := range strings.Split(expr, "/") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			return nil, fmt.Errorf("delta: query has an empty path segment")
+		}
+		q.segments = append(q.segments, seg)
+	}
+	return q, nil
+}
+
+// Hit is one query result: the matched node and its label path from the
+// root.
+type Hit struct {
+	Node *Node
+	Path string
+}
+
+// Select runs the query against the delta tree and returns the hits in
+// pre-order (duplicates from overlapping "**" expansions removed).
+func (t *Tree) Select(q *Query) []Hit {
+	if t.Root == nil || q == nil {
+		return nil
+	}
+	var hits []Hit
+	// matchAt evaluates the pattern suffix segs with its first segment
+	// applying at node n; parentPath excludes n.
+	var matchAt func(n *Node, segs []string, parentPath []string)
+	matchAt = func(n *Node, segs []string, parentPath []string) {
+		if len(segs) == 0 {
+			return
+		}
+		if segs[0] == "**" {
+			// "**" matching the empty chain: the rest applies at n.
+			matchAt(n, segs[1:], parentPath)
+			// "**" absorbing n and staying active below.
+			path := append(parentPath, string(n.Label))
+			if len(segs) == 1 {
+				hits = q.emit(hits, n, path)
+			}
+			for _, c := range n.Children {
+				matchAt(c, segs, path)
+			}
+			return
+		}
+		if !matchSeg(segs[0], n.Label) {
+			return
+		}
+		path := append(parentPath, string(n.Label))
+		if len(segs) == 1 {
+			hits = q.emit(hits, n, path)
+			return
+		}
+		for _, c := range n.Children {
+			matchAt(c, segs[1:], path)
+		}
+	}
+	matchAt(t.Root, q.segments, nil)
+	return dedupeHits(hits)
+}
+
+func (q *Query) emit(hits []Hit, n *Node, path []string) []Hit {
+	if q.kinds != nil && !q.kinds[n.Kind] {
+		return hits
+	}
+	return append(hits, Hit{Node: n, Path: strings.Join(path, "/")})
+}
+
+func matchSeg(seg string, label tree.Label) bool {
+	return seg == "*" || seg == string(label)
+}
+
+// dedupeHits removes duplicate hits that "**" branching can produce,
+// preserving first-seen (pre-)order.
+func dedupeHits(hits []Hit) []Hit {
+	seen := make(map[*Node]bool, len(hits))
+	out := hits[:0]
+	for _, h := range hits {
+		if seen[h.Node] {
+			continue
+		}
+		seen[h.Node] = true
+		out = append(out, h)
+	}
+	return out
+}
+
+// SelectExpr parses and runs a query in one step.
+func (t *Tree) SelectExpr(expr string) ([]Hit, error) {
+	q, err := ParseQuery(expr)
+	if err != nil {
+		return nil, err
+	}
+	return t.Select(q), nil
+}
+
+// Changes returns every non-identity node with its path — the flat
+// change-log view (equivalent to SelectExpr("**[changed]") plus the root
+// when it changed).
+func (t *Tree) Changes() []Hit {
+	var hits []Hit
+	var walk func(n *Node, path []string)
+	walk = func(n *Node, path []string) {
+		path = append(path, string(n.Label))
+		if n.Kind != Identity {
+			hits = append(hits, Hit{Node: n, Path: strings.Join(path, "/")})
+		}
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, nil)
+	}
+	return hits
+}

@@ -1,0 +1,198 @@
+package delta_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/tree"
+)
+
+// queryFixture builds a delta tree with one change of each kind.
+func queryFixture(t *testing.T) *delta.Tree {
+	t.Helper()
+	// Each section keeps a clear majority of its leaves (Criterion 2) so
+	// the structure stays matched and only the intended sentence-level
+	// changes appear.
+	t1 := tree.MustParse(`document
+  section "alpha"
+    paragraph
+      sentence "stable one stays here always"
+      sentence "stable two remains in place"
+      sentence "stable three keeps its spot"
+      sentence "stable four holds the line"
+      sentence "old words get replaced today"
+      sentence "mover sentence travels far away"
+  section "beta"
+    paragraph
+      sentence "doomed sentence disappears entirely now"
+      sentence "first companion text about databases"
+      sentence "second remark concerning indexes entirely"
+      sentence "third observation regarding transactions here"`)
+	t2 := tree.MustParse(`document
+  section "alpha"
+    paragraph
+      sentence "stable one stays here always"
+      sentence "stable two remains in place"
+      sentence "stable three keeps its spot"
+      sentence "stable four holds the line"
+      sentence "new words got inserted today"
+  section "beta"
+    paragraph
+      sentence "first companion text about databases"
+      sentence "mover sentence travels far away"
+      sentence "second remark concerning indexes entirely"
+      sentence "third observation regarding transactions here"`)
+	res, err := core.Diff(t1, t2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Validate(res); err != nil {
+		t.Fatalf("fixture delta invalid: %v\n%v", err, dt)
+	}
+	return dt
+}
+
+func TestQueryByKind(t *testing.T) {
+	dt := queryFixture(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"**/sentence[ins]", 1},
+		{"**/sentence[del]", 2}, // the doomed one and the replaced one
+		{"**/sentence[mov]", 1},
+		{"**/sentence[mrk]", 1},
+		{"**/sentence[changed]", 5}, // 1 ins + 2 del + 1 mov dest + 1 mov source
+		{"document/section", 2},
+		{"document/section/paragraph/sentence[idn]", 7},
+		{"**[mov]", 1},
+		{"*/*/*", 2}, // the two paragraphs
+	}
+	for _, c := range cases {
+		hits, err := dt.SelectExpr(c.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		if len(hits) != c.want {
+			var got []string
+			for _, h := range hits {
+				got = append(got, h.Path+":"+h.Node.Kind.String()+" "+h.Node.Value)
+			}
+			t.Errorf("%s: %d hits %v, want %d\n%v", c.expr, len(hits), got, c.want, dt)
+		}
+	}
+}
+
+func TestQueryPaths(t *testing.T) {
+	dt := queryFixture(t)
+	hits, err := dt.SelectExpr("**/sentence[mov]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Path != "document/section/paragraph/sentence" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	for _, expr := range []string{"", "a[[", "a[nosuch]", "a//b", "a[", "a[]"} {
+		if _, err := delta.ParseQuery(expr); err == nil {
+			t.Errorf("expected parse error for %q", expr)
+		}
+	}
+}
+
+func TestChangesView(t *testing.T) {
+	dt := queryFixture(t)
+	changes := dt.Changes()
+	// 1 ins + 2 del + 1 mov + 1 mrk + the replaced sentence's insert is
+	// already counted; every hit must be non-identity with a full path.
+	if len(changes) == 0 {
+		t.Fatal("no changes reported")
+	}
+	for _, h := range changes {
+		if h.Node.Kind == delta.Identity {
+			t.Fatalf("identity node in Changes: %+v", h)
+		}
+		if h.Path == "" {
+			t.Fatalf("missing path: %+v", h)
+		}
+	}
+}
+
+func TestTrailingDoubleStar(t *testing.T) {
+	dt := queryFixture(t)
+	all, err := dt.SelectExpr("**")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var walk func(n *delta.Node)
+	walk = func(n *delta.Node) {
+		count++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(dt.Root)
+	if len(all) != count {
+		t.Fatalf("** matched %d of %d nodes", len(all), count)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dt := queryFixture(t)
+	data, err := json.Marshal(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back delta.Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Moves != dt.Moves {
+		t.Fatalf("moves = %d, want %d", back.Moves, dt.Moves)
+	}
+	if s1, s2 := dt.Stats(), back.Stats(); s1 != s2 {
+		t.Fatalf("stats changed: %+v vs %+v", s1, s2)
+	}
+	// The move pair must be relinked: [mov] selects the source tombstone,
+	// whose Dest must point at the [mrk] destination.
+	hits, err := back.SelectExpr("**[mov]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Node.Dest() == nil {
+		t.Fatalf("move source not relinked after decode: %+v", hits)
+	}
+	if hits[0].Node.Dest().Kind != delta.MoveDest {
+		t.Fatalf("relinked dest has kind %v", hits[0].Node.Dest().Kind)
+	}
+	// Extraction still works on the decoded tree.
+	if back.ExtractNew() == nil || back.ExtractOld() == nil {
+		t.Fatal("extraction failed on decoded tree")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	var dt delta.Tree
+	bad := []string{
+		`{"kind":"nosuch","label":"x"}`,
+		`{"kind":"moveSource","label":"x"}`, // missing ref
+		`{"kind":"identity","label":"r","children":[{"kind":"moveSource","label":"x","moveRef":1}]}`, // no dest
+		`{"kind":"identity","label":"r","children":[{"kind":"moveDest","label":"x","moveRef":1}]}`,   // no source
+	}
+	for _, src := range bad {
+		var fresh delta.Tree
+		if err := json.Unmarshal([]byte(src), &fresh); err == nil {
+			t.Errorf("expected error for %s", src)
+		}
+	}
+	_ = dt
+}

@@ -1,0 +1,87 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RuleSet is a small active-rule engine over delta trees — the "active
+// rule languages for hierarchical data based on our edit scripts and
+// delta trees" of the paper's ongoing work (§9, [WU95]). Rules pair a
+// delta query with an action; evaluating a rule set against the delta
+// tree of each new version gives change-driven triggers: "when any
+// sentence under the pricing section changes, notify", "when a paragraph
+// is deleted, archive its content", and so on — the data-warehouse and
+// view-maintenance pattern of the paper's introduction.
+type RuleSet struct {
+	rules []namedRule
+}
+
+type namedRule struct {
+	name   string
+	query  *Query
+	action func(rule string, hit Hit)
+}
+
+// On registers a rule: whenever Apply finds hits for the query
+// expression, the action runs once per hit (with the rule's name).
+// Rules fire in registration order, hits in pre-order.
+func (rs *RuleSet) On(name, expr string, action func(rule string, hit Hit)) error {
+	if name == "" {
+		return fmt.Errorf("delta: rule needs a name")
+	}
+	if action == nil {
+		return fmt.Errorf("delta: rule %q needs an action", name)
+	}
+	q, err := ParseQuery(expr)
+	if err != nil {
+		return fmt.Errorf("delta: rule %q: %w", name, err)
+	}
+	rs.rules = append(rs.rules, namedRule{name: name, query: q, action: action})
+	return nil
+}
+
+// Len returns the number of registered rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// Apply evaluates every rule against the delta tree, firing actions for
+// each hit, and returns how many times each rule fired (keyed by rule
+// name; rules with zero hits are included with count 0).
+func (rs *RuleSet) Apply(dt *Tree) map[string]int {
+	fired := make(map[string]int, len(rs.rules))
+	for _, r := range rs.rules {
+		fired[r.name] = 0
+		for _, hit := range dt.Select(r.query) {
+			r.action(r.name, hit)
+			fired[r.name]++
+		}
+	}
+	return fired
+}
+
+// RuleNames returns the registered rule names in registration order
+// (stable for reporting).
+func (rs *RuleSet) RuleNames() []string {
+	out := make([]string, len(rs.rules))
+	for i, r := range rs.rules {
+		out[i] = r.name
+	}
+	return out
+}
+
+// Summary formats a fired-count map deterministically for logs.
+func Summary(fired map[string]int) string {
+	names := make([]string, 0, len(fired))
+	for n := range fired {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", n, fired[n])
+	}
+	return s
+}

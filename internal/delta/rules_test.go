@@ -1,0 +1,64 @@
+package delta_test
+
+import (
+	"strings"
+	"testing"
+
+	"ladiff/internal/delta"
+)
+
+func TestRuleSetFires(t *testing.T) {
+	dt := queryFixture(t)
+	var rs delta.RuleSet
+	var log []string
+	record := func(rule string, hit delta.Hit) {
+		log = append(log, rule+":"+hit.Node.Kind.String())
+	}
+	if err := rs.On("new-sentences", "**/sentence[ins]", record); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.On("vanished", "**/sentence[del]", record); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.On("relocations", "**/sentence[mrk]", record); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.On("never", "**/nonexistent[upd]", record); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	fired := rs.Apply(dt)
+	if fired["new-sentences"] != 1 || fired["vanished"] != 2 || fired["relocations"] != 1 {
+		t.Fatalf("fired = %v\nlog = %v", fired, log)
+	}
+	if fired["never"] != 0 {
+		t.Fatalf("zero-hit rule should be reported with 0: %v", fired)
+	}
+	if len(log) != 4 {
+		t.Fatalf("log = %v", log)
+	}
+	sum := delta.Summary(fired)
+	if !strings.Contains(sum, "vanished=2") || !strings.Contains(sum, "never=0") {
+		t.Fatalf("summary = %q", sum)
+	}
+	names := rs.RuleNames()
+	if len(names) != 4 || names[0] != "new-sentences" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRuleSetValidation(t *testing.T) {
+	var rs delta.RuleSet
+	noop := func(string, delta.Hit) {}
+	if err := rs.On("", "**", noop); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if err := rs.On("x", "**", nil); err == nil {
+		t.Fatal("expected error for nil action")
+	}
+	if err := rs.On("x", "bad[", noop); err == nil {
+		t.Fatal("expected error for bad query")
+	}
+}

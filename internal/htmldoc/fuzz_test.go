@@ -1,0 +1,50 @@
+package htmldoc_test
+
+import (
+	"testing"
+
+	"ladiff/internal/htmldoc"
+	"ladiff/internal/tree"
+)
+
+// FuzzParse feeds arbitrary input to the HTML parser: it must never
+// panic, and accepted inputs must yield valid trees that survive a
+// render/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"bare text only.",
+		"<h1>T</h1><p>One. Two.</p>",
+		"<html><head><title>x</title></head><body><p>y.</p></body></html>",
+		"<ul><li>a.</li><li>b.</li></ul>",
+		"<ul><li>outer.<ol><li>inner.</li></ol></li></ul>",
+		"<!-- comment --><p>after.</p>",
+		"<p>entity &amp; more</p>",
+		"<p>unterminated <",
+		"<script>skip me</script><p>kept.</p>",
+		"<h2>sub first</h2><p>body.</p>",
+		"<div><p>nested.</p></div>",
+		"<p attr=\"x\">attributed.</p>",
+		"<br/><p>after break.</p>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := htmldoc.Parse(src)
+		if err != nil {
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("accepted tree invalid: %v\ninput: %q", err, src)
+		}
+		rendered := htmldoc.Render(doc)
+		back, err := htmldoc.Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered output does not re-parse: %v\ninput: %q", err, src)
+		}
+		if !tree.Isomorphic(doc, back) {
+			t.Fatalf("render round trip not isomorphic\ninput: %q\nfirst:\n%v\nsecond:\n%v", src, doc, back)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package jsondoc parses JSON values into the label-value trees the
+// change-detection pipeline works on — configuration files and API
+// payloads are hierarchically structured information in exactly the
+// paper's sense, and typically keyless across versions (§1).
+//
+// Scalar leaf values (hostnames, versions, identifiers) are short, so
+// the word-granular default comparer sees most edits as total rewrites;
+// pair this front end with a character-level comparer
+// (compare.Levenshtein) for value updates to be recognized as updates.
+//
+// Mapping: objects become "object" nodes whose children are "member"
+// nodes valued with the member name; arrays become "array" nodes with
+// their elements in order; scalars become "string"/"number"/"bool"/
+// "null" leaves valued with their literal. Object members are sorted by
+// name so that member order (which JSON semantics ignores) never shows
+// up as a spurious move.
+//
+// The label schema {object, array, member, scalars} is deliberately
+// recursive (an object may appear under a member under an object), so —
+// like nested lists in LaTeX — the §5.1 acyclicity condition does not
+// hold and Theorem 5.2's uniqueness guarantee is weakened; matching and
+// scripts remain correct.
+package jsondoc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ladiff/internal/tree"
+)
+
+// Labels of the JSON document schema.
+const (
+	LabelObject tree.Label = "object"
+	LabelArray  tree.Label = "array"
+	LabelMember tree.Label = "member"
+	LabelString tree.Label = "string"
+	LabelNumber tree.Label = "number"
+	LabelBool   tree.Label = "bool"
+	LabelNull   tree.Label = "null"
+)
+
+// Parse converts a JSON document into a tree.
+func Parse(src string) (*tree.Tree, error) {
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("jsondoc: %w", err)
+	}
+	// Reject trailing garbage: a clean document has nothing after the
+	// first value.
+	if _, err := dec.Token(); err == nil {
+		return nil, fmt.Errorf("jsondoc: trailing data after JSON value")
+	} else if err.Error() != "EOF" && !strings.Contains(err.Error(), "EOF") {
+		return nil, fmt.Errorf("jsondoc: trailing data: %w", err)
+	}
+	t := tree.New()
+	if err := build(t, nil, v); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func build(t *tree.Tree, parent *tree.Node, v any) error {
+	add := func(label tree.Label, value string) *tree.Node {
+		if parent == nil {
+			return t.SetRoot(label, value)
+		}
+		return t.AppendChild(parent, label, value)
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		obj := add(LabelObject, "")
+		names := make([]string, 0, len(val))
+		for name := range val {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			member := t.AppendChild(obj, LabelMember, name)
+			if err := build(t, member, val[name]); err != nil {
+				return err
+			}
+		}
+	case []any:
+		arr := add(LabelArray, "")
+		for _, elem := range val {
+			if err := build(t, arr, elem); err != nil {
+				return err
+			}
+		}
+	case string:
+		add(LabelString, val)
+	case json.Number:
+		add(LabelNumber, val.String())
+	case bool:
+		add(LabelBool, strconv.FormatBool(val))
+	case nil:
+		add(LabelNull, "null")
+	default:
+		return fmt.Errorf("jsondoc: unsupported value %T", v)
+	}
+	return nil
+}
+
+// Render converts a tree produced by Parse back into JSON text
+// (compact). Rendering a tree that does not follow the jsondoc schema
+// returns an error.
+func Render(t *tree.Tree) (string, error) {
+	if t.Root() == nil {
+		return "", fmt.Errorf("jsondoc: empty tree")
+	}
+	v, err := extract(t.Root())
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func extract(n *tree.Node) (any, error) {
+	switch n.Label() {
+	case LabelObject:
+		obj := make(map[string]any, n.NumChildren())
+		for _, m := range n.Children() {
+			if m.Label() != LabelMember || m.NumChildren() != 1 {
+				return nil, fmt.Errorf("jsondoc: malformed member %v", m)
+			}
+			v, err := extract(m.Child(1))
+			if err != nil {
+				return nil, err
+			}
+			obj[m.Value()] = v
+		}
+		return obj, nil
+	case LabelArray:
+		arr := make([]any, 0, n.NumChildren())
+		for _, c := range n.Children() {
+			v, err := extract(c)
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, v)
+		}
+		return arr, nil
+	case LabelString:
+		return n.Value(), nil
+	case LabelNumber:
+		return json.Number(n.Value()), nil
+	case LabelBool:
+		return n.Value() == "true", nil
+	case LabelNull:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("jsondoc: unexpected label %q", n.Label())
+	}
+}
+
+// MemberName is a match.KeyFunc-compatible extractor keying member
+// nodes by their bare name — right for flat configuration objects where
+// member names are unique. (No path-qualified variant is provided:
+// member names repeat across nested objects, so a globally useful key
+// needs the caller's domain knowledge.)
+func MemberName(n *tree.Node) (string, bool) {
+	if n.Label() != LabelMember {
+		return "", false
+	}
+	return n.Value(), true
+}

@@ -1,0 +1,178 @@
+package jsondoc_test
+
+import (
+	"strings"
+	"testing"
+
+	"ladiff/internal/compare"
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/jsondoc"
+	"ladiff/internal/tree"
+)
+
+const sample = `{
+  "name": "ladiff",
+  "version": 3,
+  "enabled": true,
+  "tags": ["diff", "trees"],
+  "limits": {"depth": 10, "width": null}
+}`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := jsondoc.Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if root.Label() != jsondoc.LabelObject || root.NumChildren() != 5 {
+		t.Fatalf("root = %v with %d members", root, root.NumChildren())
+	}
+	// Members sorted by name: enabled, limits, name, tags, version.
+	var names []string
+	for _, m := range root.Children() {
+		if m.Label() != jsondoc.LabelMember {
+			t.Fatalf("child %v is not a member", m)
+		}
+		names = append(names, m.Value())
+	}
+	if got := strings.Join(names, ","); got != "enabled,limits,name,tags,version" {
+		t.Fatalf("member order = %s", got)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nulls := doc.Chain(jsondoc.LabelNull); len(nulls) != 1 {
+		t.Fatalf("nulls = %d", len(nulls))
+	}
+	if arrs := doc.Chain(jsondoc.LabelArray); len(arrs) != 1 || arrs[0].NumChildren() != 2 {
+		t.Fatalf("array shape wrong")
+	}
+}
+
+func TestMemberOrderIrrelevant(t *testing.T) {
+	a, err := jsondoc.Parse(`{"x": 1, "y": 2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := jsondoc.Parse(`{"y": 2, "x": 1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Isomorphic(a, b) {
+		t.Fatal("member order leaked into the tree")
+	}
+}
+
+func TestScalarRoots(t *testing.T) {
+	for src, label := range map[string]tree.Label{
+		`"str"`: jsondoc.LabelString,
+		`42`:    jsondoc.LabelNumber,
+		`true`:  jsondoc.LabelBool,
+		`null`:  jsondoc.LabelNull,
+	} {
+		doc, err := jsondoc.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if doc.Root().Label() != label {
+			t.Fatalf("%s: label = %v", src, doc.Root().Label())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "{", "[1,]", `{"a":1} extra`} {
+		if _, err := jsondoc.Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	doc, err := jsondoc.Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := jsondoc.Render(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := jsondoc.Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if !tree.Isomorphic(doc, back) {
+		t.Fatalf("round trip broke isomorphism:\n%v\nvs\n%v", doc, back)
+	}
+	// Number fidelity: large integers must not turn into floats.
+	big, _ := jsondoc.Parse(`{"n": 9007199254740993}`)
+	out2, err := jsondoc.Render(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "9007199254740993") {
+		t.Fatalf("number mangled: %s", out2)
+	}
+}
+
+func TestRenderRejectsForeignTrees(t *testing.T) {
+	foreign := tree.MustParse(`doc
+  s "not a json tree"`)
+	if _, err := jsondoc.Render(foreign); err == nil {
+		t.Fatal("expected error rendering a non-jsondoc tree")
+	}
+}
+
+// TestConfigDiff is the config-file scenario: a value edit, a new member,
+// and an array append are classified rather than dumped as text.
+func TestConfigDiff(t *testing.T) {
+	oldT, err := jsondoc.Parse(`{
+	  "host": "db1.internal", "port": 5432,
+	  "replicas": ["r1", "r2"],
+	  "pool": {"min": 2, "max": 10, "idle": 30, "lifo": true}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newT, err := jsondoc.Parse(`{
+	  "host": "db2.internal", "port": 5432,
+	  "replicas": ["r1", "r2", "r3"],
+	  "pool": {"min": 2, "max": 10, "idle": 30, "lifo": true},
+	  "tls": true
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{}
+	opts.Match.Key = jsondoc.MemberName
+	// Character-level comparison: config scalars are single tokens, so
+	// the word-level default would classify every edit as replace.
+	opts.Match.Compare = compare.Levenshtein
+	res, err := core.Diff(oldT, newT, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Validate(res); err != nil {
+		t.Fatalf("delta invalid: %v\n%v", err, dt)
+	}
+	s := dt.Stats()
+	// host value update, r3 + tls + true inserted.
+	if s.Updated == 0 {
+		t.Fatalf("no updates detected: %+v\n%v", s, dt)
+	}
+	if s.Inserted < 2 {
+		t.Fatalf("insertions missing: %+v\n%v", s, dt)
+	}
+	hits, err := dt.SelectExpr("**/member[ins]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Node.Value != "tls" {
+		t.Fatalf("inserted members = %+v", hits)
+	}
+}

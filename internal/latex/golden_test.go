@@ -1,0 +1,49 @@
+package latex_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/latex"
+)
+
+// TestAppendixAGolden pins the full Figure 16 reproduction: the marked-up
+// LaTeX for the TeXbook excerpt must match testdata/texbook_marked.golden
+// byte for byte. The pipeline is deterministic (seeded nothing, stable
+// traversal orders), so any diff here is a behaviour change — regenerate
+// deliberately with:
+//
+//	go run ./cmd/ladiff testdata/texbook_old.tex testdata/texbook_new.tex \
+//	    > testdata/texbook_marked.golden
+//
+// or run this test with LADIFF_UPDATE_GOLDEN=1.
+func TestAppendixAGolden(t *testing.T) {
+	oldT, newT := loadAppendixA(t)
+	res, err := core.Diff(oldT, newT, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := latex.Render(dt)
+	goldenPath := filepath.Join("..", "..", "testdata", "texbook_marked.golden")
+	if os.Getenv("LADIFF_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden file updated")
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("marked-up output changed; run with LADIFF_UPDATE_GOLDEN=1 if intentional.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

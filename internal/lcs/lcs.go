@@ -1,0 +1,175 @@
+// Package lcs computes longest common subsequences with a caller-supplied
+// equality predicate, as required by Algorithm EditScript's AlignChildren
+// and Algorithm FastMatch (Chawathe et al., SIGMOD 1996, §4.2 and §5.3).
+//
+// The primary implementation is Myers' O(ND) greedy algorithm [Mye86],
+// which the paper uses and which — unlike the hashing-based LCS in the
+// standard UNIX diff — needs only equality comparisons (§7). A quadratic
+// dynamic-programming reference implementation is provided for
+// cross-checking in tests and for pathological inputs where D approaches
+// N.
+package lcs
+
+// Pair couples an element of the first sequence with the element of the
+// second sequence it was matched to, in the order defined in §4.2: the
+// firsts form a subsequence of S1, the seconds a subsequence of S2, and
+// equal(first, second) holds for every pair.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// IndexPair records positions of one matched pair: A is an index into the
+// first sequence, B into the second.
+type IndexPair struct {
+	A, B int
+}
+
+// Pairs returns an LCS of a and b under equal, as matched element pairs.
+func Pairs[A, B any](a []A, b []B, equal func(A, B) bool) []Pair[A, B] {
+	idx := Indices(len(a), len(b), func(i, j int) bool { return equal(a[i], b[j]) })
+	out := make([]Pair[A, B], len(idx))
+	for i, p := range idx {
+		out[i] = Pair[A, B]{First: a[p.A], Second: b[p.B]}
+	}
+	return out
+}
+
+// Length returns the length of an LCS of a and b under equal.
+func Length[A, B any](a []A, b []B, equal func(A, B) bool) int {
+	return len(Indices(len(a), len(b), func(i, j int) bool { return equal(a[i], b[j]) }))
+}
+
+// Indices computes an LCS of the index ranges [0,n) and [0,m) under the
+// positional equality predicate, returning matched index pairs in
+// increasing order. It runs Myers' greedy algorithm in O((n+m)·D) time
+// and O(D²) space, where D = n + m − 2·|LCS|.
+func Indices(n, m int, equal func(i, j int) bool) []IndexPair {
+	if n == 0 || m == 0 {
+		return nil
+	}
+	maxD := n + m
+	// v[k+offset] is the furthest x on diagonal k after the current
+	// d-round. trace keeps a snapshot per round for backtracking.
+	offset := maxD
+	v := make([]int, 2*maxD+1)
+	var trace [][]int
+	var dFinal = -1
+outer:
+	for d := 0; d <= maxD; d++ {
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+offset] < v[k+1+offset]) {
+				x = v[k+1+offset] // move down (insert from b)
+			} else {
+				x = v[k-1+offset] + 1 // move right (delete from a)
+			}
+			y := x - k
+			for x < n && y < m && equal(x, y) {
+				x++
+				y++
+			}
+			v[k+offset] = x
+			if x >= n && y >= m {
+				dFinal = d
+				break outer
+			}
+		}
+	}
+	if dFinal < 0 {
+		// Unreachable: d = n+m always suffices.
+		panic("lcs: Myers search did not terminate")
+	}
+
+	// Backtrack through the per-round snapshots, collecting the diagonal
+	// (snake) steps, which are exactly the LCS matches. trace[d] holds the
+	// v-array as it stood entering round d, i.e. the values round d read.
+	var rev []IndexPair
+	x, y := n, m
+	for d := dFinal; d > 0; d-- {
+		prev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && prev[k-1+offset] < prev[k+1+offset]) {
+			prevK = k + 1 // reached via a down-move (element of b skipped)
+		} else {
+			prevK = k - 1 // reached via a right-move (element of a skipped)
+		}
+		prevX := prev[prevK+offset]
+		prevY := prevX - prevK
+		// Position immediately after round d's single non-diagonal step:
+		var sx, sy int
+		if prevK == k+1 {
+			sx, sy = prevX, prevY+1
+		} else {
+			sx, sy = prevX+1, prevY
+		}
+		// The snake from (sx,sy) to (x,y) is all matches.
+		for x > sx || y > sy {
+			rev = append(rev, IndexPair{A: x - 1, B: y - 1})
+			x--
+			y--
+		}
+		x, y = prevX, prevY
+	}
+	// d == 0: the remaining prefix is one pure snake back to the origin.
+	for x > 0 && y > 0 {
+		rev = append(rev, IndexPair{A: x - 1, B: y - 1})
+		x--
+		y--
+	}
+	out := make([]IndexPair, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// IndicesDP is a quadratic dynamic-programming LCS used as a correctness
+// reference for Indices and for callers that prefer predictable O(nm)
+// behaviour on tiny inputs.
+func IndicesDP(n, m int, equal func(i, j int) bool) []IndexPair {
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// dp[i][j] = LCS length of a[i:], b[j:].
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if equal(i, j) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var out []IndexPair
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case equal(i, j):
+			out = append(out, IndexPair{A: i, B: j})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// LengthStrings returns the LCS length of two string slices under ==, a
+// convenience used by the word-level sentence comparer (§7).
+func LengthStrings(a, b []string) int {
+	return len(Indices(len(a), len(b), func(i, j int) bool { return a[i] == b[j] }))
+}

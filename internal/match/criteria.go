@@ -1,0 +1,314 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ladiff/internal/compare"
+	"ladiff/internal/tree"
+)
+
+// Default thresholds. The leaf threshold f may range over [0,1] (Matching
+// Criterion 1); the admissible maximum of 1 accepts any pair for which a
+// move-plus-update is still no costlier than a delete-plus-insert, but in
+// prose it lets sentences sharing only half their words match, so we
+// default to the stricter midpoint. The internal threshold t must satisfy
+// ½ ≤ t ≤ 1 (Matching Criterion 2); the paper's experiments sweep t over
+// [0.5, 1.0] and we default to its mid-low setting.
+const (
+	DefaultLeafThreshold     = 0.5
+	DefaultInternalThreshold = 0.6
+)
+
+// Options configures the matching algorithms.
+type Options struct {
+	// Compare measures leaf-value distance in [0,2]. Nil means the
+	// word-LCS sentence comparer LaDiff uses (§7).
+	Compare compare.Func
+	// LeafThreshold is f in Matching Criterion 1: leaves may match only
+	// when Compare(v(x), v(y)) ≤ f. Zero means DefaultLeafThreshold;
+	// values must lie in [0,1].
+	LeafThreshold float64
+	// InternalThreshold is t in Matching Criterion 2: internal nodes may
+	// match only when |common(x,y)| / max(|x|,|y|) > t. Zero means
+	// DefaultInternalThreshold; values must lie in [0.5,1].
+	InternalThreshold float64
+	// Key, when non-nil, enables the §1 keyed fast path: nodes whose
+	// (label, key) pair is unique in both trees are matched directly
+	// before the criteria-based algorithms run. Keyless nodes (ok =
+	// false) fall through to value-based matching, so mixed data — some
+	// objects keyed, some not — works as the paper describes.
+	Key KeyFunc
+	// Stats, when non-nil, accumulates the work counters of the §8
+	// empirical study.
+	Stats *Stats
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Compare == nil {
+		o.Compare = compare.WordLCS
+	}
+	if o.LeafThreshold == 0 {
+		o.LeafThreshold = DefaultLeafThreshold
+	}
+	if o.InternalThreshold == 0 {
+		o.InternalThreshold = DefaultInternalThreshold
+	}
+	if o.LeafThreshold < 0 || o.LeafThreshold > 1 {
+		return o, fmt.Errorf("match: leaf threshold f=%v outside [0,1]", o.LeafThreshold)
+	}
+	if o.InternalThreshold < 0.5 || o.InternalThreshold > 1 {
+		return o, fmt.Errorf("match: internal threshold t=%v outside [0.5,1]", o.InternalThreshold)
+	}
+	if o.Stats == nil {
+		o.Stats = &Stats{}
+	}
+	return o, nil
+}
+
+// Stats records the two work measures of the paper's cost model for the
+// matching phase (§8): the running time is r1·c + r2, where r1 counts
+// invocations of the leaf compare function and r2 counts partner checks
+// (implemented, as in LaDiff, as integer comparisons).
+type Stats struct {
+	// LeafCompares is r1: how many times the compare function ran.
+	LeafCompares int64
+	// PartnerChecks is r2: how many containment/partner lookups the
+	// internal-node equality evaluation performed.
+	PartnerChecks int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.LeafCompares += other.LeafCompares
+	s.PartnerChecks += other.PartnerChecks
+}
+
+// Total returns r1 + r2, the comparison count reported in Figure 13(b).
+func (s *Stats) Total() int64 { return s.LeafCompares + s.PartnerChecks }
+
+// matcher carries the shared state of one matching run.
+type matcher struct {
+	t1, t2 *tree.Tree
+	opts   Options
+	m      *Matching
+	// leafCount memoizes |x| (leaf descendants) per node per tree.
+	leafCount1 map[tree.NodeID]int
+	leafCount2 map[tree.NodeID]int
+}
+
+func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if t1.Root() == nil || t2.Root() == nil {
+		return nil, errors.New("match: empty tree")
+	}
+	return &matcher{
+		t1: t1, t2: t2, opts: opts, m: NewMatching(),
+		leafCount1: make(map[tree.NodeID]int),
+		leafCount2: make(map[tree.NodeID]int),
+	}, nil
+}
+
+func (mr *matcher) leaves(n *tree.Node, inOld bool) int {
+	memo := mr.leafCount2
+	if inOld {
+		memo = mr.leafCount1
+	}
+	if c, ok := memo[n.ID()]; ok {
+		return c
+	}
+	c := tree.NumLeaves(n)
+	memo[n.ID()] = c
+	return c
+}
+
+// equalLeaves is the leaf equality of §5.2: same label and
+// compare(v(x), v(y)) ≤ f.
+func (mr *matcher) equalLeaves(x, y *tree.Node) bool {
+	if x.Label() != y.Label() {
+		return false
+	}
+	mr.opts.Stats.LeafCompares++
+	return mr.opts.Compare(x.Value(), y.Value()) <= mr.opts.LeafThreshold
+}
+
+// equalInternal is the internal equality of §5.2: same label and
+// |common(x,y)| / max(|x|,|y|) > t, where common(x,y) is the set of
+// already-matched leaf pairs contained in x and y respectively.
+//
+// Nodes that are structurally internal in the schema but currently contain
+// no leaves (e.g. an empty section) have max(|x|,|y|) = 0; for these the
+// ratio is vacuous and we fall back to comparing values like leaves, so
+// that empty containers can still be matched.
+func (mr *matcher) equalInternal(x, y *tree.Node) bool {
+	if x.Label() != y.Label() {
+		return false
+	}
+	nx, ny := mr.leaves(x, true), mr.leaves(y, false)
+	maxLeaves := nx
+	if ny > maxLeaves {
+		maxLeaves = ny
+	}
+	if maxLeaves == 0 {
+		mr.opts.Stats.LeafCompares++
+		return mr.opts.Compare(x.Value(), y.Value()) <= mr.opts.LeafThreshold
+	}
+	common := mr.common(x, y)
+	return float64(common)/float64(maxLeaves) > mr.opts.InternalThreshold
+}
+
+// common counts matched leaf pairs (w, z) with w contained in x and z
+// contained in y. Each leaf's partner lookup and each ancestor step is a
+// partner check in the r2 work measure.
+func (mr *matcher) common(x, y *tree.Node) int {
+	count := 0
+	for _, w := range tree.LeavesUnder(x) {
+		mr.opts.Stats.PartnerChecks++
+		zID, ok := mr.m.ToNew(w.ID())
+		if !ok {
+			continue
+		}
+		z := mr.t2.Node(zID)
+		for a := z.Parent(); a != nil; a = a.Parent() {
+			mr.opts.Stats.PartnerChecks++
+			if a == y {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// equal dispatches to the leaf or internal rule depending on the nodes'
+// structural kind. Mixed pairs (a leaf against an internal node) never
+// match: a value cannot be compared against descendants.
+func (mr *matcher) equal(x, y *tree.Node) bool {
+	switch {
+	case x.IsLeaf() && y.IsLeaf():
+		return mr.equalLeaves(x, y)
+	case !x.IsLeaf() && !y.IsLeaf():
+		return mr.equalInternal(x, y)
+	default:
+		return false
+	}
+}
+
+// labelsBottomUp returns the labels of both trees ordered leaves-first:
+// ascending by the maximum height of any node carrying the label. Under
+// the acyclic-labels condition (§5.1) this is a topological order of the
+// label schema, so children's labels are processed before their
+// ancestors' — the order both Match and FastMatch require so that
+// |common| is meaningful when internal nodes are compared.
+func labelsBottomUp(t1, t2 *tree.Tree) []tree.Label {
+	rank := make(map[tree.Label]int)
+	collect := func(t *tree.Tree) {
+		var rec func(n *tree.Node) int
+		rec = func(n *tree.Node) int {
+			h := 0
+			for _, c := range n.Children() {
+				if ch := rec(c) + 1; ch > h {
+					h = ch
+				}
+			}
+			if h > rank[n.Label()] {
+				rank[n.Label()] = h
+			} else if _, ok := rank[n.Label()]; !ok {
+				rank[n.Label()] = h
+			}
+			return h
+		}
+		if t.Root() != nil {
+			rec(t.Root())
+		}
+	}
+	collect(t1)
+	collect(t2)
+	labels := make([]tree.Label, 0, len(rank))
+	for l := range rank {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if rank[labels[i]] != rank[labels[j]] {
+			return rank[labels[i]] < rank[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	return labels
+}
+
+// CheckAcyclicLabels verifies the acyclic-labels condition of §5.1: there
+// is an ordering of labels such that a node's label is always strictly
+// below its ancestors' labels. It returns an error naming an offending
+// cycle (including the self-loop case of same-label nesting, which the
+// paper resolves by merging labels, as LaDiff does for list kinds).
+// Violation does not affect the correctness of the matching algorithms,
+// only the uniqueness guarantee of Theorem 5.2, so callers may treat the
+// error as advisory.
+func CheckAcyclicLabels(ts ...*tree.Tree) error {
+	// edges[a][b] records that a node labeled a appeared as a child of a
+	// node labeled b (a must order below b).
+	edges := make(map[tree.Label]map[tree.Label]bool)
+	for _, t := range ts {
+		if t == nil || t.Root() == nil {
+			continue
+		}
+		t.Walk(func(n *tree.Node) bool {
+			if p := n.Parent(); p != nil {
+				m := edges[n.Label()]
+				if m == nil {
+					m = make(map[tree.Label]bool)
+					edges[n.Label()] = m
+				}
+				m[p.Label()] = true
+			}
+			return true
+		})
+	}
+	// DFS cycle detection over the label graph.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[tree.Label]int)
+	var path []tree.Label
+	var visit func(l tree.Label) error
+	visit = func(l tree.Label) error {
+		state[l] = gray
+		path = append(path, l)
+		for next := range edges[l] {
+			switch state[next] {
+			case gray:
+				return fmt.Errorf("match: label schema has a cycle through %q and %q (merge these labels, as LaDiff merges list kinds)", l, next)
+			case white:
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		state[l] = black
+		return nil
+	}
+	labels := make([]tree.Label, 0, len(edges))
+	for l := range edges {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for _, l := range labels {
+		if edges[l][l] {
+			return fmt.Errorf("match: label %q nests within itself (merge the levels or rename)", l)
+		}
+		if state[l] == white {
+			if err := visit(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

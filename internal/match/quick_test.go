@@ -1,0 +1,95 @@
+package match_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ladiff/internal/gen"
+	. "ladiff/internal/match"
+	"ladiff/internal/tree"
+)
+
+// TestQuickMatchingBijection drives a Matching through random Add/Remove
+// sequences and checks the bijection invariants after every operation.
+func TestQuickMatchingBijection(t *testing.T) {
+	f := func(seed int64, opCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatching()
+		// Shadow model: two maps maintained naively.
+		fwd := map[tree.NodeID]tree.NodeID{}
+		rev := map[tree.NodeID]tree.NodeID{}
+		for i := 0; i < int(opCount); i++ {
+			x := tree.NodeID(rng.Intn(20) + 1)
+			y := tree.NodeID(rng.Intn(20) + 1)
+			if rng.Intn(3) == 0 {
+				m.Remove(x)
+				if old, ok := fwd[x]; ok {
+					delete(fwd, x)
+					delete(rev, old)
+				}
+				continue
+			}
+			err := m.Add(x, y)
+			_, xBusy := fwd[x]
+			_, yBusy := rev[y]
+			if xBusy || yBusy {
+				if err == nil {
+					return false // must have rejected
+				}
+				continue
+			}
+			if err != nil {
+				return false // must have accepted
+			}
+			fwd[x] = y
+			rev[y] = x
+		}
+		// Final state equivalence.
+		if m.Len() != len(fwd) {
+			return false
+		}
+		for x, y := range fwd {
+			if got, ok := m.ToNew(x); !ok || got != y {
+				return false
+			}
+			if got, ok := m.ToOld(y); !ok || got != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatchersProduceValidMatchings: on arbitrary seeded document
+// pairs (including duplicate-heavy ones), both matchers must return
+// bijective, label-preserving matchings that satisfy Criterion 1.
+func TestQuickMatchersProduceValidMatchings(t *testing.T) {
+	f := func(seed int64, dup8 uint8, edits uint8) bool {
+		dup := float64(dup8%60) / 100
+		doc := gen.Document(gen.DocParams{
+			Seed: seed, Sections: 2, MaxParagraphs: 3, MaxSentences: 4,
+			DuplicateRate: dup, Vocabulary: 200, MinWords: 4, MaxWords: 8,
+		})
+		pert, err := gen.Perturb(doc, gen.Mix(seed+1, int(edits%12)+1))
+		if err != nil {
+			return false
+		}
+		for _, algo := range []func(*tree.Tree, *tree.Tree, Options) (*Matching, error){Match, FastMatch} {
+			m, err := algo(doc, pert.New, Options{})
+			if err != nil {
+				return false
+			}
+			if err := m.Validate(doc, pert.New); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package textdoc
+
+import (
+	"fmt"
+	"strings"
+
+	"ladiff/internal/delta"
+)
+
+// RenderDelta renders a delta tree as annotated plain text — a
+// human-readable change report in the spirit of the paper's marked-up
+// output, for terminals instead of LaTeX:
+//
+//	    unchanged sentence
+//	+   inserted sentence
+//	-   deleted sentence
+//	~   updated sentence   (old value on the following line)
+//	<N  moved away (old position; N pairs source and destination)
+//	>N  moved here (new position)
+//
+// Containers (sections, paragraphs) are separated by blank lines, with a
+// "== heading ==" line for valued containers; changed containers get
+// their marker on the heading line.
+func RenderDelta(dt *delta.Tree) string {
+	r := &textRenderer{refs: map[*delta.Node]int{}}
+	r.assignRefs(dt.Root)
+	var b strings.Builder
+	r.node(&b, dt.Root)
+	out := strings.TrimRight(b.String(), "\n")
+	if out == "" {
+		return ""
+	}
+	return out + "\n"
+}
+
+type textRenderer struct {
+	refs  map[*delta.Node]int
+	refCt int
+}
+
+func (r *textRenderer) assignRefs(n *delta.Node) {
+	if n == nil {
+		return
+	}
+	if n.Kind == delta.MoveSource && n.Dest() != nil {
+		if _, done := r.refs[n]; !done {
+			r.refCt++
+			r.refs[n] = r.refCt
+			r.refs[n.Dest()] = r.refCt
+		}
+	}
+	for _, c := range n.Children {
+		r.assignRefs(c)
+	}
+}
+
+func (r *textRenderer) node(b *strings.Builder, n *delta.Node) {
+	isLeaf := len(n.Children) == 0 && n.Kind != delta.MoveSource
+	if isLeaf && n.Value != "" {
+		r.leaf(b, n)
+		return
+	}
+	switch n.Kind {
+	case delta.MoveSource:
+		fmt.Fprintf(b, "<%d  (%s moved away", r.refs[n], n.Label)
+		if n.Value != "" {
+			fmt.Fprintf(b, ": %s", n.Value)
+		}
+		b.WriteString(")\n")
+		return
+	case delta.Deleted:
+		fmt.Fprintf(b, "--- deleted %s", n.Label)
+		if n.Value != "" {
+			fmt.Fprintf(b, " %q", n.Value)
+		}
+		b.WriteString(" ---\n")
+	case delta.Inserted:
+		if n.Value != "" {
+			fmt.Fprintf(b, "== + %s ==\n", n.Value)
+		} else {
+			fmt.Fprintf(b, "--- inserted %s ---\n", n.Label)
+		}
+	case delta.Updated:
+		fmt.Fprintf(b, "== ~ %s (was %q) ==\n", n.Value, n.OldValue)
+	case delta.MoveDest:
+		fmt.Fprintf(b, ">%d  (%s moved here)\n", r.refs[n], n.Label)
+	default:
+		if n.Value != "" {
+			fmt.Fprintf(b, "== %s ==\n", n.Value)
+		}
+	}
+	for _, c := range n.Children {
+		r.node(b, c)
+	}
+	b.WriteString("\n")
+}
+
+func (r *textRenderer) leaf(b *strings.Builder, n *delta.Node) {
+	switch n.Kind {
+	case delta.Identity:
+		fmt.Fprintf(b, "    %s\n", n.Value)
+	case delta.Inserted:
+		fmt.Fprintf(b, "+   %s\n", n.Value)
+	case delta.Deleted:
+		fmt.Fprintf(b, "-   %s\n", n.Value)
+	case delta.Updated:
+		fmt.Fprintf(b, "~   %s\n      (was: %s)\n", n.Value, n.OldValue)
+	case delta.MoveDest:
+		if n.OldValue != "" {
+			fmt.Fprintf(b, ">%d  %s\n      (was: %s)\n", r.refs[n], n.Value, n.OldValue)
+		} else {
+			fmt.Fprintf(b, ">%d  %s\n", r.refs[n], n.Value)
+		}
+	default:
+		fmt.Fprintf(b, "    %s\n", n.Value)
+	}
+}

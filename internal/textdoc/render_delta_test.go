@@ -1,0 +1,60 @@
+package textdoc_test
+
+import (
+	"strings"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/textdoc"
+)
+
+func renderDiff(t *testing.T, oldSrc, newSrc string) string {
+	t.Helper()
+	oldT := textdoc.Parse(oldSrc)
+	newT := textdoc.Parse(newSrc)
+	res, err := core.Diff(oldT, newT, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := delta.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return textdoc.RenderDelta(dt)
+}
+
+const textBase = `Opening sentence stays right here. Middle sentence holds its position firmly. Closing sentence wraps the paragraph up.`
+
+func TestRenderDeltaMarkers(t *testing.T) {
+	out := renderDiff(t,
+		"Opening sentence stays right here. Doomed sentence disappears without a trace. Middle sentence holds its position firmly. Closing sentence wraps the paragraph up.",
+		"Opening sentence stays right here. Middle sentence holds its place firmly. A new sentence joins the paragraph. Closing sentence wraps the paragraph up.")
+	for _, want := range []string{
+		"-   Doomed sentence disappears without a trace.",
+		"+   A new sentence joins the paragraph.",
+		"~   Middle sentence holds its place firmly.",
+		"(was: Middle sentence holds its position firmly.)",
+		"    Opening sentence stays right here.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDeltaMovePair(t *testing.T) {
+	out := renderDiff(t,
+		"The quick brown fox jumps over fences. Entirely different middle sentence sits here. Final thoughts close things out neatly.",
+		"Entirely different middle sentence sits here. Final thoughts close things out neatly. The quick brown fox jumps over fences.")
+	if !strings.Contains(out, "<1") || !strings.Contains(out, ">1") {
+		t.Fatalf("move pair markers missing:\n%s", out)
+	}
+}
+
+func TestRenderDeltaIdenticalIsQuiet(t *testing.T) {
+	out := renderDiff(t, textBase, textBase)
+	if strings.ContainsAny(out, "+~<>") || strings.Contains(out, "-   ") {
+		t.Fatalf("identical documents produced change markers:\n%s", out)
+	}
+}

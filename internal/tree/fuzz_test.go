@@ -1,0 +1,78 @@
+package tree
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse: arbitrary input must never panic the tree parser; accepted
+// trees must validate and round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"root",
+		"root \"value\"",
+		"a\n  b\n  c \"v\"\n    d",
+		"a\n   b",      // odd indent
+		"a\n    b",     // jumped indent
+		"a\nb",         // two roots
+		"a \"unclosed", // bad quote
+		"a(12) \"idsuffix\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted tree invalid: %v\ninput: %q", err, src)
+		}
+		back, err := Parse(tr.String())
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %v\ninput: %q", err, src)
+		}
+		if !Isomorphic(tr, back) {
+			t.Fatalf("String round trip not isomorphic\ninput: %q", src)
+		}
+	})
+}
+
+// FuzzJSON: arbitrary JSON must never panic the decoder; accepted trees
+// must validate and round-trip through MarshalJSON.
+func FuzzJSON(f *testing.F) {
+	seeds := []string{
+		`null`,
+		`{}`,
+		`{"label":"r"}`,
+		`{"label":"r","value":"v","children":[{"label":"c"}]}`,
+		`{"label":"r","children":[{"value":"missing label"}]}`,
+		`[1,2,3]`,
+		`"just a string"`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr := New()
+		if err := json.Unmarshal([]byte(src), tr); err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted tree invalid: %v\ninput: %q", err, src)
+		}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back := New()
+		if err := json.Unmarshal(data, back); err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if tr.Root() != nil && !Isomorphic(tr, back) {
+			t.Fatalf("JSON round trip not isomorphic\ninput: %q", src)
+		}
+	})
+}

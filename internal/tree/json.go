@@ -1,0 +1,63 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNode is the wire form used by MarshalJSON/UnmarshalJSON. It mirrors
+// the label-value model: identifiers are deliberately not serialized, so a
+// decode/encode round trip produces an isomorphic tree, not an identical
+// one — exactly the equivalence the paper's algorithms work up to.
+type jsonNode struct {
+	Label    string     `json:"label"`
+	Value    string     `json:"value,omitempty"`
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the tree as nested {label, value, children} objects.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if t.root == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(toJSONNode(t.root))
+}
+
+func toJSONNode(n *Node) jsonNode {
+	jn := jsonNode{Label: string(n.label), Value: n.value}
+	for _, c := range n.children {
+		jn.Children = append(jn.Children, toJSONNode(c))
+	}
+	return jn
+}
+
+// UnmarshalJSON decodes nested {label, value, children} objects into t,
+// which must be empty. Fresh identifiers are assigned in pre-order.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	if t.root != nil {
+		return fmt.Errorf("tree: UnmarshalJSON into non-empty tree")
+	}
+	var jn jsonNode
+	if err := json.Unmarshal(data, &jn); err != nil {
+		return err
+	}
+	if jn.Label == "" {
+		return fmt.Errorf("tree: JSON root missing label")
+	}
+	t.ensureInit()
+	root := t.SetRoot(Label(jn.Label), jn.Value)
+	return t.addJSONChildren(root, jn.Children)
+}
+
+func (t *Tree) addJSONChildren(parent *Node, children []jsonNode) error {
+	for _, jc := range children {
+		if jc.Label == "" {
+			return fmt.Errorf("tree: JSON node missing label under %v", parent)
+		}
+		n := t.AppendChild(parent, Label(jc.Label), jc.Value)
+		if err := t.addJSONChildren(n, jc.Children); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the indented text format produced by Tree.String:
+//
+//	label "optional value"
+//	  childlabel "value"
+//	  childlabel
+//	    grandchild "value"
+//
+// Each line is one node; indentation (two spaces per level) gives the
+// depth. A node's value, if present, is a Go-quoted string after the
+// label. A "(id)" suffix on the label, as emitted by Tree.String, is
+// accepted and ignored: parsed trees get fresh identifiers, matching the
+// paper's position that identifiers are generated, not part of the data.
+func Parse(src string) (*Tree, error) {
+	t := New()
+	// stack[d] is the most recent node seen at depth d.
+	var stack []*Node
+	lineNo := 0
+	for _, line := range strings.Split(src, "\n") {
+		lineNo++
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("tree: line %d: odd indentation %d", lineNo, indent)
+		}
+		depth := indent / 2
+		label, value, err := parseNodeLine(strings.TrimSpace(line))
+		if err != nil {
+			return nil, fmt.Errorf("tree: line %d: %w", lineNo, err)
+		}
+		var n *Node
+		switch {
+		case depth == 0:
+			if t.root != nil {
+				return nil, fmt.Errorf("tree: line %d: multiple roots", lineNo)
+			}
+			n = t.SetRoot(label, value)
+		case depth > len(stack):
+			return nil, fmt.Errorf("tree: line %d: indentation jumps from %d to %d", lineNo, len(stack)-1, depth)
+		default:
+			n = t.AppendChild(stack[depth-1], label, value)
+		}
+		stack = append(stack[:depth], n)
+	}
+	if t.root == nil {
+		return nil, fmt.Errorf("tree: empty input")
+	}
+	return t, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and examples
+// with literal inputs.
+func MustParse(src string) *Tree {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func parseNodeLine(s string) (Label, string, error) {
+	labelEnd := len(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		labelEnd = i
+	}
+	label := s[:labelEnd]
+	// Strip a trailing "(id)" suffix emitted by Tree.String: the last
+	// '('-group, and only when it holds digits — labels containing
+	// parentheses of their own survive untouched.
+	if strings.HasSuffix(label, ")") {
+		if i := strings.LastIndexByte(label, '('); i >= 0 {
+			if id := label[i+1 : len(label)-1]; id != "" && isDigits(id) {
+				label = label[:i]
+			}
+		}
+	}
+	if label == "" {
+		return "", "", fmt.Errorf("missing label in %q", s)
+	}
+	rest := strings.TrimSpace(s[labelEnd:])
+	if rest == "" {
+		return Label(label), "", nil
+	}
+	value, err := strconv.Unquote(rest)
+	if err != nil {
+		return "", "", fmt.Errorf("bad value literal %s: %w", rest, err)
+	}
+	return Label(label), value, nil
+}

@@ -1,0 +1,172 @@
+// Package xmldoc parses arbitrary XML into the label-value trees the
+// change-detection pipeline works on — the paper's §9 plan of extending
+// LaDiff to SGML-family documents, and the shape of the "database dump"
+// scenario of §1: deeply nested records without reliable cross-version
+// object identifiers.
+//
+// Mapping: an element becomes a node labeled with the element name;
+// attributes are folded into the node's value as sorted `name="value"`
+// pairs (they are properties of the node, not children, so attribute
+// edits surface as value updates); every maximal run of character data
+// becomes a "#text" leaf child. Processing instructions, comments, and
+// directives are dropped.
+//
+// Note that repeated element names at nested depths (e.g. <div> inside
+// <div>) violate the §5.1 acyclic-labels condition, exactly as nested
+// lists do in LaTeX; matching stays correct, only the uniqueness theorem
+// weakens. Use match.CheckAcyclicLabels to audit a schema.
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ladiff/internal/tree"
+)
+
+// TextLabel is the label of character-data leaves.
+const TextLabel tree.Label = "#text"
+
+// Parse converts an XML document into a tree. The input must have a
+// single root element.
+func Parse(src string) (*tree.Tree, error) {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	t := tree.New()
+	var stack []*tree.Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			return nil, fmt.Errorf("xmldoc: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			value := attrValue(el.Attr)
+			var n *tree.Node
+			if len(stack) == 0 {
+				if t.Root() != nil {
+					return nil, fmt.Errorf("xmldoc: multiple root elements")
+				}
+				n = t.SetRoot(tree.Label(el.Name.Local), value)
+			} else {
+				n = t.AppendChild(stack[len(stack)-1], tree.Label(el.Name.Local), value)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldoc: unbalanced end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := strings.TrimSpace(string(el))
+			if text == "" || len(stack) == 0 {
+				continue
+			}
+			t.AppendChild(stack[len(stack)-1], TextLabel, collapseSpace(text))
+		}
+	}
+	if t.Root() == nil {
+		return nil, fmt.Errorf("xmldoc: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldoc: %d unclosed elements", len(stack))
+	}
+	return t, nil
+}
+
+// attrValue folds attributes into a canonical value string: sorted
+// `name="value"` pairs, so attribute order does not affect matching.
+func attrValue(attrs []xml.Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		name := a.Name.Local
+		if a.Name.Space != "" {
+			name = a.Name.Space + ":" + name
+		}
+		parts[i] = fmt.Sprintf("%s=%q", name, a.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Render converts a tree back to indented XML, the inverse of Parse up
+// to whitespace and attribute formatting. Values of element nodes are
+// re-expanded into attributes; "#text" leaves become character data.
+func Render(t *tree.Tree) string {
+	var b strings.Builder
+	var rec func(n *tree.Node, depth int)
+	rec = func(n *tree.Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if n.Label() == TextLabel {
+			b.WriteString(indent)
+			xml.EscapeText(&b, []byte(n.Value()))
+			b.WriteByte('\n')
+			return
+		}
+		b.WriteString(indent)
+		b.WriteByte('<')
+		b.WriteString(string(n.Label()))
+		if n.Value() != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Value())
+		}
+		if n.IsLeaf() {
+			b.WriteString("/>\n")
+			return
+		}
+		b.WriteString(">\n")
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+		b.WriteString(indent)
+		b.WriteString("</")
+		b.WriteString(string(n.Label()))
+		b.WriteString(">\n")
+	}
+	if t.Root() != nil {
+		rec(t.Root(), 0)
+	}
+	return b.String()
+}
+
+// AttrKey returns a match.KeyFunc-compatible extractor that keys
+// elements by the given attribute (commonly "id" or "key"): it scans the
+// node's canonical attribute value for `attr="..."`. Text leaves and
+// elements without the attribute are keyless.
+func AttrKey(attr string) func(n *tree.Node) (string, bool) {
+	prefix := attr + `="`
+	return func(n *tree.Node) (string, bool) {
+		if n.Label() == TextLabel {
+			return "", false
+		}
+		v := n.Value()
+		for {
+			i := strings.Index(v, prefix)
+			if i < 0 {
+				return "", false
+			}
+			// Must be at a token boundary.
+			if i > 0 && v[i-1] != ' ' {
+				v = v[i+len(prefix):]
+				continue
+			}
+			rest := v[i+len(prefix):]
+			j := strings.IndexByte(rest, '"')
+			if j < 0 {
+				return "", false
+			}
+			return rest[:j], true
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package zs
+
+import (
+	"errors"
+
+	"ladiff/internal/tree"
+)
+
+// MapPair is one aligned node pair of an optimal [ZS89] mapping: Old was
+// relabeled to (or is identical to) New.
+type MapPair struct {
+	Old, New *tree.Node
+}
+
+// Mapping computes an optimal [ZS89] edit mapping between t1 and t2 under
+// the given costs, returning the aligned node pairs and the distance.
+// The mapping is the certificate behind the distance: nodes of t1 outside
+// the mapping are deleted, nodes of t2 outside it inserted, and every
+// pair either matches exactly or is relabeled.
+//
+// The paper (§5) notes that the only known algorithm for the *best
+// matching* — the matching whose conforming edit script is globally
+// cheapest — post-processes exactly this mapping [Zha95], at O(n²) cost.
+// Pair Mapping with MatchingCosts and feed the label-equal pairs to
+// Algorithm EditScript to get that expensive-but-optimal pipeline (see
+// core.ZSMatcher).
+//
+// Backtracking recomputes forest-distance tables on demand (one per
+// visited subtree pair), so memory stays at one table at a time beyond
+// the O(n1·n2) tree-distance table the forward pass fills.
+func Mapping(t1, t2 *tree.Tree, c Costs) ([]MapPair, float64, error) {
+	if t1 == nil || t2 == nil || t1.Root() == nil || t2.Root() == nil {
+		return nil, 0, errors.New("zs: mapping requires two non-empty trees")
+	}
+	if c.Insert == nil || c.Delete == nil || c.Relabel == nil {
+		return nil, 0, errors.New("zs: all three cost functions are required")
+	}
+	o1, o2 := prepare(t1), prepare(t2)
+	n1, n2 := len(o1.nodes), len(o2.nodes)
+	td := make([][]float64, n1+1)
+	for i := range td {
+		td[i] = make([]float64, n2+1)
+	}
+	for _, i := range o1.keyroots {
+		for _, j := range o2.keyroots {
+			treeDist(o1, o2, i, j, c, td)
+		}
+	}
+	var out []MapPair
+	backtrack(o1, o2, n1, n2, c, td, &out)
+	// Reverse into post-order (backtrack walks right-to-left).
+	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
+		out[a], out[b] = out[b], out[a]
+	}
+	return out, td[n1][n2], nil
+}
+
+// forestTable recomputes the forest-distance table anchored at subtree
+// roots (i, j), identical to treeDist's DP but retained for backtracking.
+func forestTable(o1, o2 *ordered, i, j int, c Costs, td [][]float64) [][]float64 {
+	li, lj := o1.leftmost[i-1], o2.leftmost[j-1]
+	m, n := i-li+2, j-lj+2
+	fd := make([][]float64, m)
+	for a := range fd {
+		fd[a] = make([]float64, n)
+	}
+	for di := li; di <= i; di++ {
+		fd[di-li+1][0] = fd[di-li][0] + c.Delete(o1.nodes[di-1])
+	}
+	for dj := lj; dj <= j; dj++ {
+		fd[0][dj-lj+1] = fd[0][dj-lj] + c.Insert(o2.nodes[dj-1])
+	}
+	for di := li; di <= i; di++ {
+		for dj := lj; dj <= j; dj++ {
+			r, s := di-li+1, dj-lj+1
+			del := fd[r-1][s] + c.Delete(o1.nodes[di-1])
+			ins := fd[r][s-1] + c.Insert(o2.nodes[dj-1])
+			if o1.leftmost[di-1] == li && o2.leftmost[dj-1] == lj {
+				rel := fd[r-1][s-1] + c.Relabel(o1.nodes[di-1], o2.nodes[dj-1])
+				fd[r][s] = min3(del, ins, rel)
+			} else {
+				sub := fd[o1.leftmost[di-1]-li][o2.leftmost[dj-1]-lj] + td[di][dj]
+				fd[r][s] = min3(del, ins, sub)
+			}
+		}
+	}
+	return fd
+}
+
+// backtrack walks an optimal path through the forest table for subtrees
+// (i, j), emitting matched pairs and recursing into subtree jumps.
+func backtrack(o1, o2 *ordered, i, j int, c Costs, td [][]float64, out *[]MapPair) {
+	li, lj := o1.leftmost[i-1], o2.leftmost[j-1]
+	fd := forestTable(o1, o2, i, j, c, td)
+	const eps = 1e-9
+	di, dj := i, j
+	for di >= li || dj >= lj {
+		r, s := 0, 0
+		if di >= li {
+			r = di - li + 1
+		}
+		if dj >= lj {
+			s = dj - lj + 1
+		}
+		switch {
+		case r > 0 && fd[r][s] >= fd[r-1][s]+c.Delete(o1.nodes[di-1])-eps &&
+			fd[r][s] <= fd[r-1][s]+c.Delete(o1.nodes[di-1])+eps:
+			di--
+		case s > 0 && fd[r][s] >= fd[r][s-1]+c.Insert(o2.nodes[dj-1])-eps &&
+			fd[r][s] <= fd[r][s-1]+c.Insert(o2.nodes[dj-1])+eps:
+			dj--
+		default:
+			if o1.leftmost[di-1] == li && o2.leftmost[dj-1] == lj {
+				// Relabel/match step.
+				*out = append(*out, MapPair{Old: o1.nodes[di-1], New: o2.nodes[dj-1]})
+				di--
+				dj--
+			} else {
+				// Subtree jump: the two subtrees rooted at di, dj were
+				// matched as wholes; recurse, then skip them.
+				backtrack(o1, o2, di, dj, c, td, out)
+				di = o1.leftmost[di-1] - 1
+				dj = o2.leftmost[dj-1] - 1
+			}
+		}
+	}
+}
+
+// MatchingCosts is the cost model to use when the mapping will seed a
+// matching for Algorithm EditScript: cross-label relabels are priced
+// above delete+insert, so the optimal mapping never pairs nodes with
+// different labels (matchings must be label-preserving, §3.1), and
+// same-label relabels are priced by how different the values are so that
+// near-identical nodes pair up preferentially.
+func MatchingCosts(valueDistance func(a, b string) float64) Costs {
+	one := func(*tree.Node) float64 { return 1 }
+	return Costs{
+		Insert: one,
+		Delete: one,
+		Relabel: func(a, b *tree.Node) float64 {
+			if a.Label() != b.Label() {
+				return 3 // > delete + insert: never chosen
+			}
+			if a.Value() == b.Value() {
+				return 0
+			}
+			if valueDistance == nil {
+				return 1
+			}
+			d := valueDistance(a.Value(), b.Value())
+			if d > 2 {
+				d = 2
+			}
+			return d
+		},
+	}
+}

@@ -1,0 +1,167 @@
+// Package zs implements the Zhang–Shasha ordered-tree edit distance
+// [ZS89], the optimal-but-expensive baseline the paper compares against
+// (§2). It supports insert, delete, and relabel (update) operations — the
+// [ZS89] operation set, in which deleting an interior node promotes its
+// children — and runs in O(n1·n2·min(depth1,leaves1)·min(depth2,leaves2))
+// time, O(n1·n2) space: for balanced trees, the O(n² log² n) the paper
+// quotes.
+//
+// The baseline serves two purposes in the reproduction: the runtime
+// scaling comparison of experiment E6 (ours ≈ linear in n for small edit
+// distances, ZS quadratic or worse), and a quality reference — under unit
+// costs the ZS distance is the true minimum number of insert/delete/
+// relabel operations, so our conforming scripts can be checked against it
+// on move-free workloads.
+package zs
+
+import (
+	"errors"
+
+	"ladiff/internal/tree"
+)
+
+// Costs prices the three [ZS89] operations. The zero value is not valid;
+// use UnitCosts or fill every field.
+type Costs struct {
+	// Insert returns the cost of inserting node n (from the new tree).
+	Insert func(n *tree.Node) float64
+	// Delete returns the cost of deleting node n (from the old tree).
+	Delete func(n *tree.Node) float64
+	// Relabel returns the cost of turning old node a into new node b;
+	// it must be 0 when the nodes are identical.
+	Relabel func(a, b *tree.Node) float64
+}
+
+// UnitCosts is the unit-cost model of [SZ90]: inserts and deletes cost 1,
+// relabel costs 0 for identical label+value and 1 otherwise.
+func UnitCosts() Costs {
+	one := func(*tree.Node) float64 { return 1 }
+	return Costs{
+		Insert: one,
+		Delete: one,
+		Relabel: func(a, b *tree.Node) float64 {
+			if a.Label() == b.Label() && a.Value() == b.Value() {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// ordered is a tree preprocessed into Zhang–Shasha form: 1-based
+// post-order node array, leftmost-leaf indices, and keyroots.
+type ordered struct {
+	nodes    []*tree.Node // nodes[i-1] is post-order node i
+	leftmost []int        // leftmost[i-1] = l(i)
+	keyroots []int
+}
+
+func prepare(t *tree.Tree) *ordered {
+	post := t.PostOrder()
+	o := &ordered{nodes: post, leftmost: make([]int, len(post))}
+	index := make(map[*tree.Node]int, len(post))
+	for i, n := range post {
+		index[n] = i + 1
+	}
+	for i, n := range post {
+		m := n
+		for !m.IsLeaf() {
+			m = m.Children()[0]
+		}
+		o.leftmost[i] = index[m]
+	}
+	// Keyroots: the root plus every node with a left sibling —
+	// equivalently, the nodes whose leftmost leaf differs from their
+	// parent's (highest node for each l value).
+	seen := make(map[int]int) // l value -> highest post-order index
+	for i := 1; i <= len(post); i++ {
+		seen[o.leftmost[i-1]] = i
+	}
+	for _, i := range seen {
+		o.keyroots = append(o.keyroots, i)
+	}
+	// Sort ascending (small counts: insertion sort keeps it dependency-free).
+	for a := 1; a < len(o.keyroots); a++ {
+		for b := a; b > 0 && o.keyroots[b] < o.keyroots[b-1]; b-- {
+			o.keyroots[b], o.keyroots[b-1] = o.keyroots[b-1], o.keyroots[b]
+		}
+	}
+	return o
+}
+
+// Distance computes the Zhang–Shasha edit distance between t1 and t2
+// under the given costs.
+func Distance(t1, t2 *tree.Tree, c Costs) (float64, error) {
+	if t1 == nil || t2 == nil || t1.Root() == nil || t2.Root() == nil {
+		return 0, errors.New("zs: distance requires two non-empty trees")
+	}
+	if c.Insert == nil || c.Delete == nil || c.Relabel == nil {
+		return 0, errors.New("zs: all three cost functions are required")
+	}
+	o1, o2 := prepare(t1), prepare(t2)
+	n1, n2 := len(o1.nodes), len(o2.nodes)
+	// td[i][j] = tree distance between subtrees rooted at post-order i, j
+	// (1-based).
+	td := make([][]float64, n1+1)
+	for i := range td {
+		td[i] = make([]float64, n2+1)
+	}
+	for _, i := range o1.keyroots {
+		for _, j := range o2.keyroots {
+			treeDist(o1, o2, i, j, c, td)
+		}
+	}
+	return td[n1][n2], nil
+}
+
+// treeDist fills td[di][dj] for all di, dj with l(di)=l(i), l(dj)=l(j)
+// via the forest-distance DP of [ZS89].
+func treeDist(o1, o2 *ordered, i, j int, c Costs, td [][]float64) {
+	li, lj := o1.leftmost[i-1], o2.leftmost[j-1]
+	m, n := i-li+2, j-lj+2 // forest DP dimensions, with one slot for ∅
+	fd := make([][]float64, m)
+	for a := range fd {
+		fd[a] = make([]float64, n)
+	}
+	// off maps a post-order index into the forest DP row/column.
+	rowOf := func(di int) int { return di - li + 1 }
+	colOf := func(dj int) int { return dj - lj + 1 }
+	for di := li; di <= i; di++ {
+		fd[rowOf(di)][0] = fd[rowOf(di)-1][0] + c.Delete(o1.nodes[di-1])
+	}
+	for dj := lj; dj <= j; dj++ {
+		fd[0][colOf(dj)] = fd[0][colOf(dj)-1] + c.Insert(o2.nodes[dj-1])
+	}
+	for di := li; di <= i; di++ {
+		for dj := lj; dj <= j; dj++ {
+			r, s := rowOf(di), colOf(dj)
+			del := fd[r-1][s] + c.Delete(o1.nodes[di-1])
+			ins := fd[r][s-1] + c.Insert(o2.nodes[dj-1])
+			if o1.leftmost[di-1] == li && o2.leftmost[dj-1] == lj {
+				rel := fd[r-1][s-1] + c.Relabel(o1.nodes[di-1], o2.nodes[dj-1])
+				fd[r][s] = min3(del, ins, rel)
+				td[di][dj] = fd[r][s]
+			} else {
+				sub := fd[o1.leftmost[di-1]-li][o2.leftmost[dj-1]-lj] + td[di][dj]
+				fd[r][s] = min3(del, ins, sub)
+			}
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// UnitDistance is Distance under UnitCosts: the minimum number of
+// insert/delete/relabel operations transforming t1 into t2 in the [ZS89]
+// model.
+func UnitDistance(t1, t2 *tree.Tree) (float64, error) {
+	return Distance(t1, t2, UnitCosts())
+}

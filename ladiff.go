@@ -1,0 +1,275 @@
+package ladiff
+
+import (
+	"ladiff/internal/compare"
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/edit"
+	"ladiff/internal/htmldoc"
+	"ladiff/internal/jsondoc"
+	"ladiff/internal/latex"
+	"ladiff/internal/match"
+	"ladiff/internal/textdoc"
+	"ladiff/internal/tree"
+	"ladiff/internal/xmldoc"
+	"ladiff/internal/zs"
+)
+
+// Core data types, re-exported from the implementation packages so the
+// whole API is reachable through this package.
+type (
+	// Tree is a rooted, ordered, labeled, valued tree (§3.1).
+	Tree = tree.Tree
+	// Node is a single tree node.
+	Node = tree.Node
+	// NodeID identifies a node within one tree.
+	NodeID = tree.NodeID
+	// Label is a node label (e.g. "sentence", "paragraph").
+	Label = tree.Label
+
+	// Op is one edit operation: insert, delete, update, or move (§3.2).
+	Op = edit.Op
+	// Script is a sequence of edit operations.
+	Script = edit.Script
+	// CostModel prices edit operations (§3.2).
+	CostModel = edit.CostModel
+
+	// Matching is a partial one-to-one node correspondence (§3.1).
+	Matching = match.Matching
+	// MatchOptions configures the Good Matching criteria (§5).
+	MatchOptions = match.Options
+	// MatchStats carries the §8 work counters.
+	MatchStats = match.Stats
+
+	// Result is the outcome of Diff: script, matchings, transformed tree.
+	Result = core.Result
+	// Options configures the Diff pipeline.
+	Options = core.Options
+
+	// DeltaTree is the annotated-overlay representation of a delta (§6).
+	DeltaTree = delta.Tree
+	// DeltaNode is one node of a delta tree.
+	DeltaNode = delta.Node
+
+	// CompareFunc measures leaf-value distance in [0,2].
+	CompareFunc = compare.Func
+)
+
+// Matcher selection for Options.Matcher.
+const (
+	// FastMatcher is Algorithm FastMatch (Figure 11), the default.
+	FastMatcher = core.FastMatcher
+	// SimpleMatcher is Algorithm Match (Figure 10).
+	SimpleMatcher = core.SimpleMatcher
+	// ZSMatcher derives the matching from an optimal Zhang–Shasha
+	// mapping — the §5 "best matching" route, for small trees.
+	ZSMatcher = core.ZSMatcher
+)
+
+// Delta-tree annotations.
+const (
+	DeltaIdentity   = delta.Identity
+	DeltaUpdated    = delta.Updated
+	DeltaInserted   = delta.Inserted
+	DeltaDeleted    = delta.Deleted
+	DeltaMoveSource = delta.MoveSource
+	DeltaMoveDest   = delta.MoveDest
+)
+
+// Edit operation kinds.
+const (
+	OpInsert = edit.Insert
+	OpDelete = edit.Delete
+	OpUpdate = edit.Update
+	OpMove   = edit.Move
+)
+
+// Diff runs the paper's full change-detection pipeline on the old and new
+// trees: Good Matching (§5), optional post-processing (§8), and Algorithm
+// EditScript (§4). Neither input is modified. The zero Options value uses
+// FastMatch with the word-LCS sentence comparer and default thresholds.
+func Diff(old, new *Tree, opts Options) (*Result, error) {
+	return core.Diff(old, new, opts)
+}
+
+// ComputeEditScript runs Algorithm EditScript (Figure 8) directly with a
+// caller-supplied matching — the right entry point when the data carries
+// object identifiers and matching is trivial (§1, §5).
+func ComputeEditScript(old, new *Tree, m *Matching) (*Result, error) {
+	return core.EditScript(old, new, m)
+}
+
+// FindMatching runs Algorithm FastMatch (Figure 11) alone and returns the
+// discovered matching.
+func FindMatching(old, new *Tree, opts MatchOptions) (*Matching, error) {
+	return match.FastMatch(old, new, opts)
+}
+
+// NewMatching returns an empty matching for callers that construct
+// correspondences from their own identifiers.
+func NewMatching() *Matching { return match.NewMatching() }
+
+// BuildDelta constructs the delta tree (§6) for a Diff result.
+func BuildDelta(res *Result) (*DeltaTree, error) { return delta.Build(res) }
+
+// NewTree returns an empty tree; use (*Tree).SetRoot and
+// (*Tree).AppendChild to populate it.
+func NewTree() *Tree { return tree.New() }
+
+// NewTreeWithRoot returns a tree whose root has the given label and value.
+func NewTreeWithRoot(label Label, value string) *Tree {
+	return tree.NewWithRoot(label, value)
+}
+
+// ParseTree reads the indented text format produced by (*Tree).String.
+func ParseTree(src string) (*Tree, error) { return tree.Parse(src) }
+
+// Isomorphic reports whether two trees are identical up to node
+// identifiers (§3.1).
+func Isomorphic(a, b *Tree) bool { return tree.Isomorphic(a, b) }
+
+// ParseLatex parses the LaDiff LaTeX subset (§7) into a document tree.
+func ParseLatex(src string) (*Tree, error) { return latex.Parse(src) }
+
+// RenderLatex renders a delta tree as a marked-up LaTeX document
+// following the paper's Table 2 conventions.
+func RenderLatex(dt *DeltaTree) string { return latex.Render(dt) }
+
+// RenderLatexPlain renders a document tree as LaTeX without markup.
+func RenderLatexPlain(t *Tree) string { return latex.RenderPlain(t) }
+
+// ParseHTML parses a subset of HTML into a document tree — the paper's
+// web change-monitoring scenario (§1).
+func ParseHTML(src string) (*Tree, error) { return htmldoc.Parse(src) }
+
+// RenderHTML renders a document tree as simple HTML.
+func RenderHTML(t *Tree) string { return htmldoc.Render(t) }
+
+// ParseText parses plain text (blank-line paragraphs of sentences) into a
+// document tree.
+func ParseText(src string) *Tree { return textdoc.Parse(src) }
+
+// RenderText renders a document tree as plain text.
+func RenderText(t *Tree) string { return textdoc.Render(t) }
+
+// ParseXML parses arbitrary XML into a document tree (elements →
+// labeled nodes, attributes folded into values, character data as
+// "#text" leaves) — the §9 SGML-family extension.
+func ParseXML(src string) (*Tree, error) { return xmldoc.Parse(src) }
+
+// RenderXML renders a tree back as indented XML.
+func RenderXML(t *Tree) string { return xmldoc.Render(t) }
+
+// XMLAttrKey keys XML elements by an attribute (commonly "id") for the
+// keyed matching fast path: set MatchOptions.Key to the result.
+func XMLAttrKey(attr string) KeyFunc { return xmldoc.AttrKey(attr) }
+
+// ParseJSON parses a JSON document into a tree (objects/arrays/members/
+// scalars), with object members sorted by name so member order never
+// registers as change. Pair with CompareLevenshtein for scalar values.
+func ParseJSON(src string) (*Tree, error) { return jsondoc.Parse(src) }
+
+// RenderJSON renders a jsondoc tree back to compact JSON.
+func RenderJSON(t *Tree) (string, error) { return jsondoc.Render(t) }
+
+// JSONMemberKey keys object members by name for the keyed fast path.
+var JSONMemberKey KeyFunc = jsondoc.MemberName
+
+// RenderHTMLDelta renders a delta tree as an HTML document with the
+// changes marked (<ins>/<del>/<em>, move anchors) — the §9 plan of a
+// diff-aware web browser.
+func RenderHTMLDelta(dt *DeltaTree) string { return htmldoc.RenderDelta(dt) }
+
+// RenderTextDelta renders a delta tree as an annotated plain-text change
+// report (+/-/~ markers, <N/>N move pairs).
+func RenderTextDelta(dt *DeltaTree) string { return textdoc.RenderDelta(dt) }
+
+// UnitCosts is the paper's simple cost model: unit-cost insert, delete
+// and move; updates priced by the word-LCS comparer (§3.2).
+func UnitCosts() CostModel { return edit.UnitCosts() }
+
+// Leaf-value comparers (§7). WordLCS is LaDiff's sentence comparer and
+// the default used by Diff.
+var (
+	CompareExact       CompareFunc = compare.Exact
+	CompareWordLCS     CompareFunc = compare.WordLCS
+	CompareFoldedWords CompareFunc = compare.FoldedWordLCS
+	CompareLevenshtein CompareFunc = compare.Levenshtein
+	CompareTokenSet    CompareFunc = compare.TokenSet
+)
+
+// WordDiff computes a word-level diff of two values (common / deleted /
+// inserted words), the grain renderers use to highlight what changed
+// inside an updated sentence.
+func WordDiff(old, new string) []compare.WordOp { return compare.WordDiff(old, new) }
+
+// WordOp is one word of a WordDiff, classified by WordOpKind.
+type WordOp = compare.WordOp
+
+// Word-diff classifications.
+const (
+	WordEqual  = compare.WordEqual
+	WordDelete = compare.WordDelete
+	WordInsert = compare.WordInsert
+)
+
+// CompareShingle returns a k-word-shingle Jaccard comparer: order-aware
+// at granularity k but robust to block moves within long values.
+func CompareShingle(k int) CompareFunc { return compare.Shingle(k) }
+
+// KeyFunc extracts application keys from nodes; set MatchOptions.Key to
+// enable the §1 keyed fast path in the matchers.
+type KeyFunc = match.KeyFunc
+
+// ZhangShashaDistance computes the optimal [ZS89] tree edit distance
+// under unit costs — the expensive baseline the paper compares against
+// (§2). Use it to quantify the optimality gap of a conforming script on
+// small trees.
+func ZhangShashaDistance(old, new *Tree) (float64, error) {
+	return zs.UnitDistance(old, new)
+}
+
+// OptimalityLevel is the paper's proposed parameterized algorithm A(k)
+// (§9): higher levels tolerate worse inputs at higher cost. See
+// DiffAtLevel.
+type OptimalityLevel = core.OptimalityLevel
+
+// Optimality levels for DiffAtLevel, cheapest first.
+const (
+	LevelFast     = core.LevelFast     // A(0): FastMatch
+	LevelRepair   = core.LevelRepair   // A(1): FastMatch + §8 repair
+	LevelThorough = core.LevelThorough // A(2): quadratic Match + repair
+	LevelOptimal  = core.LevelOptimal  // A(3): Zhang–Shasha best matching
+)
+
+// DiffAtLevel runs the pipeline at the requested optimality level.
+func DiffAtLevel(old, new *Tree, k OptimalityLevel, mopts MatchOptions) (*Result, error) {
+	return core.DiffAtLevel(old, new, k, mopts)
+}
+
+// InvertScript computes the inverse of a script relative to the tree it
+// applies to, making deltas bidirectional (apply to go forward, apply the
+// inverse to go back).
+func InvertScript(s Script, base *Tree) (Script, error) { return edit.Invert(s, base) }
+
+// DeltaQuery selects annotated nodes from a delta tree by path pattern
+// and change kind, e.g. "**/sentence[mrk]" for every moved sentence's
+// destination. See internal/delta.ParseQuery for the full syntax.
+func DeltaQuery(dt *DeltaTree, expr string) ([]DeltaHit, error) { return dt.SelectExpr(expr) }
+
+// DeltaHit is one query result: the node plus its label path.
+type DeltaHit = delta.Hit
+
+// RuleSet is a small active-rule engine over delta trees (§9's "active
+// rule languages"): register (query, action) pairs with On, then Apply
+// the set to the delta tree of each new version to get change-driven
+// triggers.
+type RuleSet = delta.RuleSet
+
+// CheckAcyclicLabels verifies the §5.1 acyclic-labels condition under
+// which Theorem 5.2 guarantees a unique maximal matching. The error is
+// advisory: matching remains correct without it, only the uniqueness
+// guarantee is lost.
+func CheckAcyclicLabels(trees ...*Tree) error {
+	return match.CheckAcyclicLabels(trees...)
+}

@@ -1,0 +1,193 @@
+package ladiff_test
+
+import (
+	"strings"
+	"testing"
+
+	"ladiff"
+)
+
+func TestDiffAtLevels(t *testing.T) {
+	oldT, _ := ladiff.ParseTree(`doc
+  s "alpha words run here"
+  s "beta words run here"`)
+	newT, _ := ladiff.ParseTree(`doc
+  s "beta words run here"
+  s "alpha words run here"`)
+	for _, k := range []ladiff.OptimalityLevel{
+		ladiff.LevelFast, ladiff.LevelRepair, ladiff.LevelThorough, ladiff.LevelOptimal,
+	} {
+		res, err := ladiff.DiffAtLevel(oldT, newT, k, ladiff.MatchOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if _, err := res.ApplyToOld(); err != nil {
+			t.Fatalf("%v: replay: %v", k, err)
+		}
+	}
+}
+
+func TestZSMatcherOption(t *testing.T) {
+	oldT, _ := ladiff.ParseTree(`doc
+  s "identical sentence one"
+  s "identical sentence one"`)
+	newT, _ := ladiff.ParseTree(`doc
+  s "identical sentence one"`)
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{Matcher: ladiff.ZSMatcher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, del, _, _ := res.Script.Counts()
+	if del != 1 {
+		t.Fatalf("script %v: want exactly one delete", res.Script)
+	}
+}
+
+func TestInvertScriptRoundTrip(t *testing.T) {
+	oldT, _ := ladiff.ParseTree(`doc
+  para
+    s "one sentence of text"
+    s "two sentences of text"
+  para
+    s "three sentences of text"`)
+	newT, _ := ladiff.ParseTree(`doc
+  para
+    s "one sentence of text"
+  para
+    s "three sentences of text"
+    s "two sentences of text"
+    s "four sentences of text"`)
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := ladiff.InvertScript(res.Script, oldT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work, err := res.ApplyToOld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Apply(work); err != nil {
+		t.Fatalf("applying inverse: %v", err)
+	}
+	if !ladiff.Isomorphic(work, oldT) {
+		t.Fatalf("inverse did not restore the old version:\n%v", work)
+	}
+}
+
+func TestDeltaQueryFacade(t *testing.T) {
+	oldT := ladiff.ParseText("Stable sentence number one here. Stable sentence number two here. Doomed sentence goes away forever.")
+	newT := ladiff.ParseText("Stable sentence number one here. Stable sentence number two here. Shiny replacement sentence arrives now.")
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := ladiff.DeltaQuery(dt, "**/sentence[ins]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || !strings.Contains(ins[0].Node.Value, "Shiny") {
+		t.Fatalf("ins hits = %+v", ins)
+	}
+	if _, err := ladiff.DeltaQuery(dt, "broken["); err == nil {
+		t.Fatal("expected query parse error")
+	}
+}
+
+func TestXMLJSONFrontEndsFacade(t *testing.T) {
+	x, err := ladiff.ParseXML(`<cfg><item id="a">text here</item></cfg>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ladiff.RenderXML(x), "<cfg>") {
+		t.Fatal("xml render lost root")
+	}
+	key := ladiff.XMLAttrKey("id")
+	if k, ok := key(x.Chain("item")[0]); !ok || k != "a" {
+		t.Fatalf("attr key = %q, %v", k, ok)
+	}
+	j, err := ladiff.ParseJSON(`{"a": [1, 2]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ladiff.RenderJSON(j)
+	if err != nil || !strings.Contains(out, `"a":[1,2]`) {
+		t.Fatalf("json render = %q, %v", out, err)
+	}
+	if _, ok := ladiff.JSONMemberKey(j.Root().Child(1)); !ok {
+		t.Fatal("member key missing")
+	}
+}
+
+func TestRuleSetFacade(t *testing.T) {
+	// Three stable sentences keep the document matched (3/4 > t) so the
+	// only changes are the replaced sentence's delete + insert.
+	oldT := ladiff.ParseText("Alpha stays right here today. Anchor two remains in position. Anchor three keeps its spot. Beta vanishes entirely without a trace.")
+	newT := ladiff.ParseText("Alpha stays right here today. Anchor two remains in position. Anchor three keeps its spot. Gamma arrives fresh on the scene.")
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs ladiff.RuleSet
+	count := 0
+	if err := rs.On("any-change", "**/sentence[changed]", func(string, ladiff.DeltaHit) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	fired := rs.Apply(dt)
+	if fired["any-change"] != 2 || count != 2 {
+		t.Fatalf("fired = %v, count = %d", fired, count)
+	}
+}
+
+func TestKeyedMatchingFacade(t *testing.T) {
+	oldT, _ := ladiff.ParseTree(`db
+  row "id=1 old content words"`)
+	newT, _ := ladiff.ParseTree(`db
+  row "id=1 completely different words"`)
+	opts := ladiff.Options{}
+	opts.Match.Key = func(n *ladiff.Node) (string, bool) {
+		if strings.HasPrefix(n.Value(), "id=") {
+			return strings.Fields(n.Value())[0], true
+		}
+		return "", false
+	}
+	res, err := ladiff.Diff(oldT, newT, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, upd, _ := res.Script.Counts()
+	if upd != 1 {
+		t.Fatalf("script %v: keyed row should update in place", res.Script)
+	}
+}
+
+func TestDeltaRenderersFacade(t *testing.T) {
+	oldT, _ := ladiff.ParseHTML("<p>Keep this first sentence intact. Keep this second sentence intact. Remove this one please now.</p>")
+	newT, _ := ladiff.ParseHTML("<p>Keep this first sentence intact. Keep this second sentence intact. Add a different closing line.</p>")
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := ladiff.RenderHTMLDelta(dt)
+	if !strings.Contains(html, "<ins>") || !strings.Contains(html, "<del>") {
+		t.Fatalf("HTML delta missing markers:\n%s", html)
+	}
+	text := ladiff.RenderTextDelta(dt)
+	if !strings.Contains(text, "+   ") || !strings.Contains(text, "-   ") {
+		t.Fatalf("text delta missing markers:\n%s", text)
+	}
+}
