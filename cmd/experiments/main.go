@@ -22,7 +22,9 @@ import (
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiments to run (default: all)")
+	perfOut := flag.String("perfout", "BENCH_matching.json", "output path for the matchperf report")
 	flag.Parse()
+	perfOutPath = *perfOut
 
 	all := []struct {
 		name string
@@ -36,6 +38,7 @@ func main() {
 		{"editscript", runEditScript},
 		{"ablation", runAblation},
 		{"quality", runQuality},
+		{"matchperf", runMatchPerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -240,6 +243,40 @@ func runQuality() error {
 		})
 	}
 	fmt.Print(bench.FormatTable([]string{"dup rate", "violations", "A(1) cost", "A(3) cost", "optimal", "A(1) gap", "A(3) gap"}, rows))
+	fmt.Println()
+	return nil
+}
+
+// perfOutPath is where runMatchPerf writes BENCH_matching.json.
+var perfOutPath = "BENCH_matching.json"
+
+func runMatchPerf() error {
+	report, err := bench.CollectMatchingPerf(9)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Matching engine: seed baseline vs indexed/memoized/parallel FastMatch ==")
+	fmt.Println("   (medium pair; r1/r2 are the logical Figure 13(b) counters and must not")
+	fmt.Println("    drift across configurations; effective columns show executed work)")
+	rows := [][]string{{
+		report.Before.Name, fmt.Sprintf("%.2f", float64(report.Before.NsPerOp)/1e6),
+		fmt.Sprint(report.Before.Pairs), fmt.Sprint(report.Before.R1),
+		fmt.Sprint(report.Before.R2), "-", "-",
+	}}
+	for _, r := range report.After {
+		rows = append(rows, []string{
+			r.Name, fmt.Sprintf("%.2f", float64(r.NsPerOp)/1e6),
+			fmt.Sprint(r.Pairs), fmt.Sprint(r.R1), fmt.Sprint(r.R2),
+			fmt.Sprint(r.EffectiveLeafCompares + r.EffectivePartnerChecks),
+			fmt.Sprint(r.LeafMemoHits + r.InternalMemoHits),
+		})
+	}
+	fmt.Print(bench.FormatTable([]string{"config", "ms/op", "pairs", "r1", "r2", "eff work", "memo hits"}, rows))
+	fmt.Printf("speedup vs seed: %.1fx\n", report.SpeedupX)
+	if err := report.WriteMatchingPerf(perfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", perfOutPath)
 	fmt.Println()
 	return nil
 }

@@ -1,0 +1,70 @@
+package compare
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestWordSliceLCSWithinAgrees checks, over random word slices and a
+// sweep of limits including the exact distance values themselves, that
+// the bounded predicate agrees with comparing the full distance.
+func TestWordSliceLCSWithinAgrees(t *testing.T) {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	rng := rand.New(rand.NewSource(29))
+	slice := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	for trial := 0; trial < 500; trial++ {
+		wa := slice(rng.Intn(12))
+		wb := slice(rng.Intn(12))
+		dist := WordSliceLCS(wa, wb)
+		limits := []float64{0, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, dist, dist - 0.01, dist + 0.01}
+		for _, limit := range limits {
+			if limit < 0 {
+				continue
+			}
+			want := dist <= limit+1e-12
+			if got := WordSliceLCSWithin(wa, wb, limit); got != want {
+				t.Fatalf("WordSliceLCSWithin(%v, %v, %v) = %v; WordSliceLCS = %v",
+					wa, wb, limit, got, dist)
+			}
+		}
+	}
+}
+
+// TestWordSliceLCSWithinEmpty pins the empty-input conventions to match
+// WordSliceLCS: two empties are distance 0, one empty is MaxDistance.
+func TestWordSliceLCSWithinEmpty(t *testing.T) {
+	if !WordSliceLCSWithin(nil, nil, 0) {
+		t.Error("empty vs empty within 0: want true")
+	}
+	if WordSliceLCSWithin([]string{"a"}, nil, 1) {
+		t.Error("nonempty vs empty within 1: want false (distance is 2)")
+	}
+	if !WordSliceLCSWithin([]string{"a"}, nil, MaxDistance) {
+		t.Error("nonempty vs empty within 2: want true")
+	}
+}
+
+// TestWordLCSMatchesSliceForm pins the refactoring invariant that
+// WordLCS(a, b) == WordSliceLCS(Words(a), Words(b)).
+func TestWordLCSMatchesSliceForm(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"one", ""},
+		{"the quick brown fox", "the slow brown fox"},
+		{"a b c d", "d c b a"},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%q-%q", c[0], c[1]), func(t *testing.T) {
+			if got, want := WordSliceLCS(Words(c[0]), Words(c[1])), WordLCS(c[0], c[1]); got != want {
+				t.Errorf("WordSliceLCS = %v, WordLCS = %v", got, want)
+			}
+		})
+	}
+}

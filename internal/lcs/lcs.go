@@ -35,9 +35,74 @@ func Pairs[A, B any](a []A, b []B, equal func(A, B) bool) []Pair[A, B] {
 	return out
 }
 
-// Length returns the length of an LCS of a and b under equal.
+// Length returns the length of an LCS of a and b under equal. It runs
+// the forward pass only — no trace, no backtracking — so it allocates
+// O(n+m) and is the right call when the matched pairs themselves are not
+// needed (e.g. the word-LCS distance of the sentence comparer, which the
+// matcher invokes thousands of times per run).
 func Length[A, B any](a []A, b []B, equal func(A, B) bool) int {
-	return len(Indices(len(a), len(b), func(i, j int) bool { return equal(a[i], b[j]) }))
+	return LengthIndices(len(a), len(b), func(i, j int) bool { return equal(a[i], b[j]) })
+}
+
+// LengthIndices is the forward-only counterpart of Indices: it returns
+// just the LCS length of the index ranges [0,n) and [0,m) under the
+// positional equality predicate. Myers' relation D = n + m − 2·|LCS|
+// recovers the length from the first round that reaches (n,m).
+func LengthIndices(n, m int, equal func(i, j int) bool) int {
+	d, ok := DistanceWithin(n, m, n+m, equal)
+	if !ok {
+		// Unreachable: d = n+m always suffices.
+		panic("lcs: Myers search did not terminate")
+	}
+	return (n + m - d) / 2
+}
+
+// DistanceWithin runs the forward Myers search with the d-rounds capped
+// at maxD. It returns the edit distance D = n + m − 2·|LCS| and true when
+// D ≤ maxD, or (0, false) when the distance exceeds the cap — after only
+// O((n+m)·maxD) work instead of the O((n+m)·D) a full search would
+// spend. Callers that test a similarity threshold rather than needing
+// the exact distance (Matching Criterion 1 does exactly that) use the
+// cap to reject dissimilar pairs early.
+func DistanceWithin(n, m, maxD int, equal func(i, j int) bool) (int, bool) {
+	if n == 0 || m == 0 {
+		d := n + m
+		if d > maxD {
+			return 0, false
+		}
+		return d, true
+	}
+	// D ≥ |n−m|: the cap is unreachable without entering the search.
+	if diff := n - m; diff > maxD || -diff > maxD {
+		return 0, false
+	}
+	if maxD > n+m {
+		maxD = n + m
+	}
+	// One slot of head-room on each side: round d reads diagonals k±1
+	// for k ∈ [-d, d], so the window spans [-maxD−1, maxD+1].
+	offset := maxD + 1
+	v := make([]int, 2*maxD+3)
+	for d := 0; d <= maxD; d++ {
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+offset] < v[k+1+offset]) {
+				x = v[k+1+offset] // move down (insert from b)
+			} else {
+				x = v[k-1+offset] + 1 // move right (delete from a)
+			}
+			y := x - k
+			for x < n && y < m && equal(x, y) {
+				x++
+				y++
+			}
+			v[k+offset] = x
+			if x >= n && y >= m {
+				return d, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // Indices computes an LCS of the index ranges [0,n) and [0,m) under the
@@ -50,15 +115,19 @@ func Indices(n, m int, equal func(i, j int) bool) []IndexPair {
 	}
 	maxD := n + m
 	// v[k+offset] is the furthest x on diagonal k after the current
-	// d-round. trace keeps a snapshot per round for backtracking.
+	// d-round. trace keeps, per round, a snapshot of only the active
+	// diagonal window [-d, d] as it stood entering the round (round d−1
+	// wrote at most diagonals ±(d−1), and the backtrack for round d reads
+	// only diagonals within ±d), so total trace space is O(D²) instead of
+	// the O(D·(n+m)) a full-array snapshot per round would cost.
 	offset := maxD
 	v := make([]int, 2*maxD+1)
 	var trace [][]int
 	var dFinal = -1
 outer:
 	for d := 0; d <= maxD; d++ {
-		snapshot := make([]int, len(v))
-		copy(snapshot, v)
+		snapshot := make([]int, 2*d+1)
+		copy(snapshot, v[offset-d:offset+d+1])
 		trace = append(trace, snapshot)
 		for k := -d; k <= d; k += 2 {
 			var x int
@@ -86,19 +155,20 @@ outer:
 
 	// Backtrack through the per-round snapshots, collecting the diagonal
 	// (snake) steps, which are exactly the LCS matches. trace[d] holds the
-	// v-array as it stood entering round d, i.e. the values round d read.
+	// active window of the v-array as it stood entering round d — the
+	// values round d read — indexed by k+d for diagonal k ∈ [-d, d].
 	var rev []IndexPair
 	x, y := n, m
 	for d := dFinal; d > 0; d-- {
 		prev := trace[d]
 		k := x - y
 		var prevK int
-		if k == -d || (k != d && prev[k-1+offset] < prev[k+1+offset]) {
+		if k == -d || (k != d && prev[k-1+d] < prev[k+1+d]) {
 			prevK = k + 1 // reached via a down-move (element of b skipped)
 		} else {
 			prevK = k - 1 // reached via a right-move (element of a skipped)
 		}
-		prevX := prev[prevK+offset]
+		prevX := prev[prevK+d]
 		prevY := prevX - prevK
 		// Position immediately after round d's single non-diagonal step:
 		var sx, sy int
@@ -169,7 +239,8 @@ func IndicesDP(n, m int, equal func(i, j int) bool) []IndexPair {
 }
 
 // LengthStrings returns the LCS length of two string slices under ==, a
-// convenience used by the word-level sentence comparer (§7).
+// convenience used by the word-level sentence comparer (§7). It uses the
+// forward-only pass of LengthIndices.
 func LengthStrings(a, b []string) int {
-	return len(Indices(len(a), len(b), func(i, j int) bool { return a[i] == b[j] }))
+	return LengthIndices(len(a), len(b), func(i, j int) bool { return a[i] == b[j] })
 }

@@ -3,7 +3,9 @@ package match
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
 
 	"ladiff/internal/compare"
 	"ladiff/internal/tree"
@@ -26,6 +28,25 @@ type Options struct {
 	// Compare measures leaf-value distance in [0,2]. Nil means the
 	// word-LCS sentence comparer LaDiff uses (§7).
 	Compare compare.Func
+	// CompareTokens, when non-nil, is the token form of the comparer:
+	// the same distance over values pre-split by Tokenize. Supplying it
+	// lets the matcher tokenize each node's value once and reuse the
+	// tokens across every pairwise comparison, instead of re-splitting
+	// both strings on every call. When Compare is nil (the default
+	// word-LCS comparer), CompareTokens defaults to its token form
+	// compare.WordSliceLCS automatically; custom comparers opt in by
+	// setting both fields consistently.
+	CompareTokens compare.TokenFunc
+	// CompareTokensWithin, when non-nil, answers "is the token distance
+	// at most limit?" — potentially much cheaper than computing
+	// CompareTokens exactly, e.g. compare.WordSliceLCSWithin caps the
+	// underlying LCS search at the limit. It must agree with
+	// CompareTokens(wa, wb) ≤ limit on every input. Defaults alongside
+	// CompareTokens when Compare is nil.
+	CompareTokensWithin func(wa, wb []string, limit float64) bool
+	// Tokenize splits a value for CompareTokens. Nil means
+	// compare.Words (whitespace splitting).
+	Tokenize func(string) []string
 	// LeafThreshold is f in Matching Criterion 1: leaves may match only
 	// when Compare(v(x), v(y)) ≤ f. Zero means DefaultLeafThreshold;
 	// values must lie in [0,1].
@@ -43,11 +64,31 @@ type Options struct {
 	// Stats, when non-nil, accumulates the work counters of the §8
 	// empirical study.
 	Stats *Stats
+	// Parallelism bounds the worker pool used to process independent
+	// same-rank label rounds concurrently. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces fully sequential rounds. Results (and the logical r1/r2
+	// counters) are bit-identical at every setting; only the effective
+	// work counters and wall-clock vary.
+	Parallelism int
+	// DisableMemo turns off the pair-equality memo layer, forcing every
+	// logical comparison to recompute. The matching and the logical
+	// r1/r2 counters are identical either way; the knob exists so tests
+	// and benchmarks can verify and measure exactly that.
+	DisableMemo bool
 }
 
 func (o Options) withDefaults() (Options, error) {
 	if o.Compare == nil {
 		o.Compare = compare.WordLCS
+		if o.CompareTokens == nil {
+			o.CompareTokens = compare.WordSliceLCS
+			if o.CompareTokensWithin == nil {
+				o.CompareTokensWithin = compare.WordSliceLCSWithin
+			}
+		}
+	}
+	if o.CompareTokens != nil && o.Tokenize == nil {
+		o.Tokenize = compare.Words
 	}
 	if o.LeafThreshold == 0 {
 		o.LeafThreshold = DefaultLeafThreshold
@@ -61,41 +102,111 @@ func (o Options) withDefaults() (Options, error) {
 	if o.InternalThreshold < 0.5 || o.InternalThreshold > 1 {
 		return o, fmt.Errorf("match: internal threshold t=%v outside [0.5,1]", o.InternalThreshold)
 	}
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("match: negative parallelism %d", o.Parallelism)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.Stats == nil {
 		o.Stats = &Stats{}
 	}
 	return o, nil
 }
 
-// Stats records the two work measures of the paper's cost model for the
+// Stats records the work measures of the paper's cost model for the
 // matching phase (§8): the running time is r1·c + r2, where r1 counts
 // invocations of the leaf compare function and r2 counts partner checks
 // (implemented, as in LaDiff, as integer comparisons).
+//
+// r1 and r2 count *logical* comparisons — what the algorithms of Figures
+// 10–11 perform — so Figure 13(b) regeneration is independent of the
+// engine's shortcuts. The memo layer and the Euler interval index let the
+// engine answer many of those comparisons without redoing the work; the
+// Effective* counters record the work that actually ran, and the memo-hit
+// counters the answers served from cache. Logical counters are identical
+// across memoized/unmemoized and sequential/parallel runs; effective
+// counters are where the savings show.
 type Stats struct {
-	// LeafCompares is r1: how many times the compare function ran.
+	// LeafCompares is r1: how many times the compare function logically
+	// ran (leaf-pair and empty-container value comparisons).
 	LeafCompares int64
 	// PartnerChecks is r2: how many containment/partner lookups the
-	// internal-node equality evaluation performed.
+	// internal-node equality evaluation logically performed.
 	PartnerChecks int64
+	// EffectiveLeafCompares counts compare-function invocations that
+	// actually executed (memo misses). LeafCompares −
+	// EffectiveLeafCompares is the work saved by the leaf memo.
+	EffectiveLeafCompares int64
+	// EffectivePartnerChecks counts partner lookups and interval tests
+	// that actually executed inside common().
+	EffectivePartnerChecks int64
+	// LeafMemoHits counts leaf-pair equality answers served from the
+	// memo without invoking the comparer.
+	LeafMemoHits int64
+	// InternalMemoHits counts internal-pair equality answers served from
+	// the memo without re-running common().
+	InternalMemoHits int64
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.LeafCompares += other.LeafCompares
 	s.PartnerChecks += other.PartnerChecks
+	s.EffectiveLeafCompares += other.EffectiveLeafCompares
+	s.EffectivePartnerChecks += other.EffectivePartnerChecks
+	s.LeafMemoHits += other.LeafMemoHits
+	s.InternalMemoHits += other.InternalMemoHits
 }
 
 // Total returns r1 + r2, the comparison count reported in Figure 13(b).
 func (s *Stats) Total() int64 { return s.LeafCompares + s.PartnerChecks }
 
+// EffectiveTotal returns the comparisons that actually executed after
+// memoization — the engine-level counterpart of Total.
+func (s *Stats) EffectiveTotal() int64 {
+	return s.EffectiveLeafCompares + s.EffectivePartnerChecks
+}
+
+// pairKey identifies one (old node, new node) comparison in the memo
+// maps.
+type pairKey struct {
+	old, new tree.NodeID
+}
+
+// internalMemoEntry caches one internal-equality evaluation. The entry
+// is valid only while the leaf matching is unchanged (epoch equality):
+// common() depends on which leaves are matched, so any leaf pair added
+// or removed invalidates it. charged replays the logical r2 cost on a
+// hit, keeping the logical counters identical to an unmemoized run.
+type internalMemoEntry struct {
+	result  bool
+	charged int64
+	epoch   int64
+}
+
 // matcher carries the shared state of one matching run.
 type matcher struct {
-	t1, t2 *tree.Tree
-	opts   Options
-	m      *Matching
-	// leafCount memoizes |x| (leaf descendants) per node per tree.
-	leafCount1 map[tree.NodeID]int
-	leafCount2 map[tree.NodeID]int
+	t1, t2     *tree.Tree
+	idx1, idx2 *tree.Index
+	opts       Options
+	m          *Matching
+	// local is non-nil in a parallel fork: newly discovered pairs go
+	// here while m serves as the read-only base matching shared by all
+	// of the round's workers. See parallel.go.
+	local *Matching
+	// words1/words2 cache Tokenize(value) per node per tree.
+	words1, words2 map[tree.NodeID][]string
+	// leafMemo caches value-rule equality per pair. Value equality
+	// depends only on the two values and the thresholds, never on the
+	// matching, so entries stay valid for the whole run.
+	leafMemo map[pairKey]bool
+	// internalMemo caches internal-rule equality per pair, valid while
+	// leafEpoch is unchanged.
+	internalMemo map[pairKey]internalMemoEntry
+	// leafEpoch counts leaf-pair additions and removals; bumping it
+	// invalidates internalMemo wholesale.
+	leafEpoch int64
 }
 
 func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
@@ -107,23 +218,115 @@ func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
 		return nil, errors.New("match: empty tree")
 	}
 	return &matcher{
-		t1: t1, t2: t2, opts: opts, m: NewMatching(),
-		leafCount1: make(map[tree.NodeID]int),
-		leafCount2: make(map[tree.NodeID]int),
+		t1: t1, t2: t2,
+		idx1: t1.Index(), idx2: t2.Index(),
+		opts: opts, m: NewMatching(),
+		words1:       make(map[tree.NodeID][]string),
+		words2:       make(map[tree.NodeID][]string),
+		leafMemo:     make(map[pairKey]bool),
+		internalMemo: make(map[pairKey]internalMemoEntry),
 	}, nil
 }
 
-func (mr *matcher) leaves(n *tree.Node, inOld bool) int {
-	memo := mr.leafCount2
+// matchedOld reports whether old node x is matched, consulting the
+// fork-local overlay first (see parallel.go).
+func (mr *matcher) matchedOld(x tree.NodeID) bool {
+	if mr.local != nil && mr.local.MatchedOld(x) {
+		return true
+	}
+	return mr.m.MatchedOld(x)
+}
+
+// matchedNew reports whether new node y is matched.
+func (mr *matcher) matchedNew(y tree.NodeID) bool {
+	if mr.local != nil && mr.local.MatchedNew(y) {
+		return true
+	}
+	return mr.m.MatchedNew(y)
+}
+
+// partnerOfOld returns the partner of old node x, if any.
+func (mr *matcher) partnerOfOld(x tree.NodeID) (tree.NodeID, bool) {
+	if mr.local != nil {
+		if y, ok := mr.local.ToNew(x); ok {
+			return y, ok
+		}
+	}
+	return mr.m.ToNew(x)
+}
+
+// add records the pair (x, y), panicking on a one-to-one violation —
+// callers check both sides unmatched first. Adding a leaf pair bumps
+// leafEpoch, invalidating the internal-equality memo.
+func (mr *matcher) add(x, y *tree.Node) {
+	target := mr.m
+	if mr.local != nil {
+		target = mr.local
+	}
+	if err := target.Add(x.ID(), y.ID()); err != nil {
+		panic(err)
+	}
+	if x.IsLeaf() {
+		mr.leafEpoch++
+	}
+}
+
+// removeOld removes the pair involving old node x, if any, bumping
+// leafEpoch for leaf pairs. Only the post-processing pass removes pairs;
+// it never runs forked, so removal always targets the base matching.
+func (mr *matcher) removeOld(x tree.NodeID) {
+	if n := mr.t1.Node(x); n != nil && n.IsLeaf() {
+		mr.leafEpoch++
+	}
+	mr.m.Remove(x)
+}
+
+// valueWithinThreshold evaluates compare(v(x), v(y)) ≤ f through the
+// cheapest available comparer form: the thresholded token comparer (which
+// can stop early), the exact token comparer (which reuses cached tokens),
+// or the plain string comparer.
+func (mr *matcher) valueWithinThreshold(x, y *tree.Node) bool {
+	mr.opts.Stats.EffectiveLeafCompares++
+	switch {
+	case mr.opts.CompareTokensWithin != nil:
+		return mr.opts.CompareTokensWithin(mr.tokens(x, true), mr.tokens(y, false), mr.opts.LeafThreshold)
+	case mr.opts.CompareTokens != nil:
+		return mr.opts.CompareTokens(mr.tokens(x, true), mr.tokens(y, false)) <= mr.opts.LeafThreshold
+	default:
+		return mr.opts.Compare(x.Value(), y.Value()) <= mr.opts.LeafThreshold
+	}
+}
+
+// tokens returns the cached token slice for n's value.
+func (mr *matcher) tokens(n *tree.Node, inOld bool) []string {
+	cache := mr.words2
 	if inOld {
-		memo = mr.leafCount1
+		cache = mr.words1
 	}
-	if c, ok := memo[n.ID()]; ok {
-		return c
+	if w, ok := cache[n.ID()]; ok {
+		return w
 	}
-	c := tree.NumLeaves(n)
-	memo[n.ID()] = c
-	return c
+	w := mr.opts.Tokenize(n.Value())
+	cache[n.ID()] = w
+	return w
+}
+
+// leafValueEqual evaluates the value rule compare(v(x), v(y)) ≤ f,
+// charging exactly one logical leaf compare (r1) whether or not the memo
+// answers it.
+func (mr *matcher) leafValueEqual(x, y *tree.Node) bool {
+	mr.opts.Stats.LeafCompares++
+	if mr.opts.DisableMemo {
+		return mr.valueWithinThreshold(x, y)
+	}
+	k := pairKey{old: x.ID(), new: y.ID()}
+	if res, ok := mr.leafMemo[k]; ok {
+		mr.opts.Stats.LeafMemoHits++
+		return res
+	}
+	res := mr.valueWithinThreshold(x, y)
+	mr.leafMemo[k] = res
+	return res
 }
 
 // equalLeaves is the leaf equality of §5.2: same label and
@@ -132,8 +335,7 @@ func (mr *matcher) equalLeaves(x, y *tree.Node) bool {
 	if x.Label() != y.Label() {
 		return false
 	}
-	mr.opts.Stats.LeafCompares++
-	return mr.opts.Compare(x.Value(), y.Value()) <= mr.opts.LeafThreshold
+	return mr.leafValueEqual(x, y)
 }
 
 // equalInternal is the internal equality of §5.2: same label and
@@ -141,47 +343,64 @@ func (mr *matcher) equalLeaves(x, y *tree.Node) bool {
 // already-matched leaf pairs contained in x and y respectively.
 //
 // Nodes that are structurally internal in the schema but currently contain
-// no leaves (e.g. an empty section) have max(|x|,|y|) = 0; for these the
-// ratio is vacuous and we fall back to comparing values like leaves, so
-// that empty containers can still be matched.
+// no leaves have max(|x|,|y|) = 0; for these the ratio is vacuous and we
+// fall back to comparing values like leaves, so that empty containers can
+// still be matched.
 func (mr *matcher) equalInternal(x, y *tree.Node) bool {
 	if x.Label() != y.Label() {
 		return false
 	}
-	nx, ny := mr.leaves(x, true), mr.leaves(y, false)
+	nx, ny := mr.idx1.NumLeaves(x), mr.idx2.NumLeaves(y)
 	maxLeaves := nx
 	if ny > maxLeaves {
 		maxLeaves = ny
 	}
 	if maxLeaves == 0 {
-		mr.opts.Stats.LeafCompares++
-		return mr.opts.Compare(x.Value(), y.Value()) <= mr.opts.LeafThreshold
+		return mr.leafValueEqual(x, y)
 	}
-	common := mr.common(x, y)
-	return float64(common)/float64(maxLeaves) > mr.opts.InternalThreshold
+	k := pairKey{old: x.ID(), new: y.ID()}
+	if !mr.opts.DisableMemo {
+		if e, ok := mr.internalMemo[k]; ok && e.epoch == mr.leafEpoch {
+			mr.opts.Stats.InternalMemoHits++
+			mr.opts.Stats.PartnerChecks += e.charged
+			return e.result
+		}
+	}
+	common, charged := mr.common(x, y)
+	res := float64(common)/float64(maxLeaves) > mr.opts.InternalThreshold
+	if !mr.opts.DisableMemo {
+		mr.internalMemo[k] = internalMemoEntry{result: res, charged: charged, epoch: mr.leafEpoch}
+	}
+	return res
 }
 
 // common counts matched leaf pairs (w, z) with w contained in x and z
-// contained in y. Each leaf's partner lookup and each ancestor step is a
-// partner check in the r2 work measure.
-func (mr *matcher) common(x, y *tree.Node) int {
-	count := 0
-	for _, w := range tree.LeavesUnder(x) {
-		mr.opts.Stats.PartnerChecks++
-		zID, ok := mr.m.ToNew(w.ID())
-		if !ok {
+// contained in y: one pass over the Euler index's cached leaf span of x,
+// with an O(1) interval containment test per matched leaf — O(|x|) total,
+// versus the O(|x|·depth) ancestor climb of the naive formulation. In the
+// r2 work measure each leaf costs one partner lookup plus, when a partner
+// exists, one containment check; charged reports that logical cost so
+// memo hits can replay it.
+func (mr *matcher) common(x, y *tree.Node) (count int, charged int64) {
+	yIn, yOut, ok := mr.idx2.Interval(y.ID())
+	if !ok {
+		return 0, 0
+	}
+	for _, w := range mr.idx1.LeavesUnder(x) {
+		charged++
+		zID, matched := mr.partnerOfOld(w.ID())
+		if !matched {
 			continue
 		}
-		z := mr.t2.Node(zID)
-		for a := z.Parent(); a != nil; a = a.Parent() {
-			mr.opts.Stats.PartnerChecks++
-			if a == y {
-				count++
-				break
-			}
+		charged++
+		zIn, zOut, ok := mr.idx2.Interval(zID)
+		if ok && yIn < zIn && zOut < yOut {
+			count++
 		}
 	}
-	return count
+	mr.opts.Stats.PartnerChecks += charged
+	mr.opts.Stats.EffectivePartnerChecks += charged
+	return count, charged
 }
 
 // equal dispatches to the leaf or internal rule depending on the nodes'
@@ -198,13 +417,15 @@ func (mr *matcher) equal(x, y *tree.Node) bool {
 	}
 }
 
-// labelsBottomUp returns the labels of both trees ordered leaves-first:
-// ascending by the maximum height of any node carrying the label. Under
-// the acyclic-labels condition (§5.1) this is a topological order of the
-// label schema, so children's labels are processed before their
-// ancestors' — the order both Match and FastMatch require so that
-// |common| is meaningful when internal nodes are compared.
-func labelsBottomUp(t1, t2 *tree.Tree) []tree.Label {
+// labelRankGroups returns the labels of both trees ordered leaves-first —
+// ascending by the maximum height of any node carrying the label — and
+// grouped by that rank, labels sorted within a group. Flattened, this is
+// the bottom-up label order both Match and FastMatch require: under the
+// acyclic-labels condition (§5.1) it is a topological order of the label
+// schema, so children's labels are processed before their ancestors' and
+// |common| is meaningful when internal nodes are compared. The grouping
+// exposes the rank rounds to the parallel scheduler (see parallel.go).
+func labelRankGroups(t1, t2 *tree.Tree) [][]tree.Label {
 	rank := make(map[tree.Label]int)
 	collect := func(t *tree.Tree) {
 		var rec func(n *tree.Node) int
@@ -238,7 +459,15 @@ func labelsBottomUp(t1, t2 *tree.Tree) []tree.Label {
 		}
 		return labels[i] < labels[j]
 	})
-	return labels
+	var groups [][]tree.Label
+	for _, l := range labels {
+		if n := len(groups); n > 0 && rank[groups[n-1][0]] == rank[l] {
+			groups[n-1] = append(groups[n-1], l)
+		} else {
+			groups = append(groups, []tree.Label{l})
+		}
+	}
+	return groups
 }
 
 // CheckAcyclicLabels verifies the acyclic-labels condition of §5.1: there
@@ -269,7 +498,8 @@ func CheckAcyclicLabels(ts ...*tree.Tree) error {
 			return true
 		})
 	}
-	// DFS cycle detection over the label graph.
+	// DFS cycle detection over the label graph. path holds the current
+	// gray stack so a detected cycle can be reported in full.
 	const (
 		white = 0
 		gray  = 1
@@ -284,7 +514,8 @@ func CheckAcyclicLabels(ts ...*tree.Tree) error {
 		for next := range edges[l] {
 			switch state[next] {
 			case gray:
-				return fmt.Errorf("match: label schema has a cycle through %q and %q (merge these labels, as LaDiff merges list kinds)", l, next)
+				return fmt.Errorf("match: label schema has a cycle %s (merge these labels, as LaDiff merges list kinds)",
+					formatCycle(path, next))
 			case white:
 				if err := visit(next); err != nil {
 					return err
@@ -311,4 +542,22 @@ func CheckAcyclicLabels(ts ...*tree.Tree) error {
 		}
 	}
 	return nil
+}
+
+// formatCycle renders the portion of the DFS stack from the reentered
+// label onward, closing the loop: `"a" → "b" → "a"`.
+func formatCycle(path []tree.Label, reentered tree.Label) string {
+	start := 0
+	for i, l := range path {
+		if l == reentered {
+			start = i
+			break
+		}
+	}
+	var b strings.Builder
+	for _, l := range path[start:] {
+		fmt.Fprintf(&b, "%q → ", l)
+	}
+	fmt.Fprintf(&b, "%q", reentered)
+	return b.String()
 }

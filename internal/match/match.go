@@ -14,7 +14,9 @@ import (
 // When Matching Criterion 3 holds and the label schema is acyclic, the
 // candidate order is irrelevant: at most one candidate is equal (Lemma
 // C.3), so the result is the unique maximal matching of Theorem 5.2.
-// Running time is O(n²c + mn) (Appendix B).
+// Running time is O(n²c + mn) (Appendix B). Independent labels of equal
+// bottom-up rank are processed concurrently under Options.Parallelism;
+// the result is bit-identical to the sequential run (see parallel.go).
 func Match(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
 	mr, err := newMatcher(t1, t2, opts)
 	if err != nil {
@@ -25,28 +27,28 @@ func Match(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
 			return nil, err
 		}
 	}
-	for _, label := range labelsBottomUp(t1, t2) {
-		mr.matchChainsQuadratic(t1.Chain(label), t2.Chain(label))
-	}
+	mr.rounds((*matcher).matchLabelQuadratic)
 	return mr.m, nil
+}
+
+// matchLabelQuadratic runs one label round of Algorithm Match.
+func (mr *matcher) matchLabelQuadratic(label tree.Label) {
+	mr.matchChainsQuadratic(mr.idx1.Chain(label), mr.idx2.Chain(label))
 }
 
 // matchChainsQuadratic pairs unmatched nodes of s1 against unmatched
 // nodes of s2 as in Algorithm Match: first equal candidate wins.
 func (mr *matcher) matchChainsQuadratic(s1, s2 []*tree.Node) {
 	for _, x := range s1 {
-		if mr.m.MatchedOld(x.ID()) {
+		if mr.matchedOld(x.ID()) {
 			continue
 		}
 		for _, y := range s2 {
-			if mr.m.MatchedNew(y.ID()) {
+			if mr.matchedNew(y.ID()) {
 				continue
 			}
 			if mr.equal(x, y) {
-				// Add cannot fail: both sides were just checked unmatched.
-				if err := mr.m.Add(x.ID(), y.ID()); err != nil {
-					panic(err)
-				}
+				mr.add(x, y)
 				break
 			}
 		}
@@ -59,6 +61,8 @@ func (mr *matcher) matchChainsQuadratic(s1, s2 []*tree.Node) {
 // the criteria's equality, which matches all nodes that appear in the same
 // relative order in one O(ND) pass; only the leftovers fall through to the
 // quadratic pairing. Running time is O((ne+e²)c + 2lne) (Appendix B).
+// Independent labels of equal bottom-up rank are processed concurrently
+// under Options.Parallelism, bit-identically to the sequential run.
 //
 // When Matching Criterion 3 holds and the label schema is acyclic,
 // FastMatch and Match return identical matchings (Theorem 5.2). When
@@ -74,28 +78,29 @@ func FastMatch(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
 			return nil, err
 		}
 	}
-	for _, label := range labelsBottomUp(t1, t2) {
-		s1 := t1.Chain(label)
-		s2 := t2.Chain(label)
-		// Step 2c–2d: LCS alignment of the label chains.
-		pairs := lcs.Pairs(s1, s2, func(x, y *tree.Node) bool {
-			// Nodes matched by a previous label pass (impossible for a
-			// homogeneous-label schema, but chains can revisit nodes when
-			// labels repeat across levels) must not be re-matched.
-			if mr.m.MatchedOld(x.ID()) || mr.m.MatchedNew(y.ID()) {
-				return false
-			}
-			return mr.equal(x, y)
-		})
-		for _, p := range pairs {
-			if err := mr.m.Add(p.First.ID(), p.Second.ID()); err != nil {
-				panic(err)
-			}
-		}
-		// Step 2e: leftovers are paired as in Algorithm Match.
-		mr.matchChainsQuadratic(s1, s2)
-	}
+	mr.rounds((*matcher).matchLabelFast)
 	return mr.m, nil
+}
+
+// matchLabelFast runs one label round of Algorithm FastMatch: the LCS
+// alignment of the label chains (steps 2c–2d), then the quadratic pairing
+// of the leftovers (step 2e).
+func (mr *matcher) matchLabelFast(label tree.Label) {
+	s1 := mr.idx1.Chain(label)
+	s2 := mr.idx2.Chain(label)
+	pairs := lcs.Pairs(s1, s2, func(x, y *tree.Node) bool {
+		// Nodes matched by a previous label pass (impossible for a
+		// homogeneous-label schema, but chains can revisit nodes when
+		// labels repeat across levels) must not be re-matched.
+		if mr.matchedOld(x.ID()) || mr.matchedNew(y.ID()) {
+			return false
+		}
+		return mr.equal(x, y)
+	})
+	for _, p := range pairs {
+		mr.add(p.First, p.Second)
+	}
+	mr.matchChainsQuadratic(s1, s2)
 }
 
 // PostProcess applies the §8 repair pass to a matching produced when
@@ -151,12 +156,10 @@ func PostProcess(t1, t2 *tree.Tree, m *Matching, opts Options) (int, error) {
 				}
 				// Displace cc's non-local match, if any, then re-match.
 				if oldID, ok := m.ToOld(cc.ID()); ok {
-					m.Remove(oldID)
+					mr.removeOld(oldID)
 				}
-				m.Remove(c.ID())
-				if err := m.Add(c.ID(), cc.ID()); err != nil {
-					panic(err)
-				}
+				mr.removeOld(c.ID())
+				mr.add(c, cc)
 				rewritten++
 				break
 			}
@@ -171,9 +174,7 @@ func PostProcess(t1, t2 *tree.Tree, m *Matching, opts Options) (int, error) {
 					continue
 				}
 				if mr.equal(c, cc) {
-					if err := m.Add(c.ID(), cc.ID()); err != nil {
-						panic(err)
-					}
+					mr.add(c, cc)
 					rewritten++
 					break
 				}

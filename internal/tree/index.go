@@ -1,0 +1,123 @@
+package tree
+
+// Index is a read-only structural snapshot of a Tree: an Euler-tour
+// (entry/exit) numbering of the nodes, a flat document-order leaf
+// sequence with per-node spans, and per-label chains. It turns the
+// ancestor queries and leaf enumerations that dominate the matching
+// phase into O(1) interval tests and zero-copy subslices.
+//
+// An Index is built lazily by (*Tree).Index and cached on the tree; any
+// structural mutation (insert, delete, move, wrap) invalidates the cache,
+// so a stale Index can never be observed through the owning tree. Value
+// updates (SetValue) do not invalidate: the index holds no values.
+//
+// The snapshot itself is immutable after construction and therefore safe
+// for concurrent readers, provided the tree is not mutated concurrently.
+type Index struct {
+	spans  map[NodeID]nodeSpan
+	leaves []*Node
+	chains map[Label][]*Node
+}
+
+// nodeSpan packs the Euler interval and the node's range in the flat
+// leaf sequence. For every proper descendant d of n:
+//
+//	n.in < d.in && d.out < n.out
+//
+// and the leaves under n are exactly leaves[leafLo:leafHi].
+type nodeSpan struct {
+	in, out        int32
+	leafLo, leafHi int32
+}
+
+// Index returns the tree's structural index, building it on first use.
+// The returned Index reflects the tree as of the call; it is invalidated
+// (and rebuilt on the next call) by any structural mutation.
+func (t *Tree) Index() *Index {
+	if t.index == nil {
+		t.index = buildIndex(t)
+	}
+	return t.index
+}
+
+func buildIndex(t *Tree) *Index {
+	idx := &Index{
+		spans:  make(map[NodeID]nodeSpan, len(t.nodes)),
+		chains: make(map[Label][]*Node),
+	}
+	var clock int32
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		span := nodeSpan{in: clock, leafLo: int32(len(idx.leaves))}
+		clock++
+		idx.chains[n.label] = append(idx.chains[n.label], n)
+		if n.IsLeaf() {
+			idx.leaves = append(idx.leaves, n)
+		} else {
+			for _, c := range n.children {
+				rec(c)
+			}
+		}
+		span.out = clock
+		clock++
+		span.leafHi = int32(len(idx.leaves))
+		idx.spans[n.id] = span
+	}
+	if t.root != nil {
+		rec(t.root)
+	}
+	return idx
+}
+
+// invalidateIndex drops the cached index after a structural mutation.
+func (t *Tree) invalidateIndex() { t.index = nil }
+
+// IsAncestor reports whether a is a proper ancestor of n, by interval
+// containment. Nodes not covered by the index (inserted after it was
+// built, which cannot happen through the owning tree) report false.
+func (ix *Index) IsAncestor(a, n *Node) bool {
+	return ix.IsAncestorID(a.id, n.id)
+}
+
+// IsAncestorID is IsAncestor on node IDs.
+func (ix *Index) IsAncestorID(a, n NodeID) bool {
+	sa, ok := ix.spans[a]
+	if !ok {
+		return false
+	}
+	sn, ok := ix.spans[n]
+	if !ok {
+		return false
+	}
+	return sa.in < sn.in && sn.out < sa.out
+}
+
+// NumLeaves returns |n|, the number of leaf descendants of n (a leaf
+// contains itself), in O(1).
+func (ix *Index) NumLeaves(n *Node) int {
+	s := ix.spans[n.id]
+	return int(s.leafHi - s.leafLo)
+}
+
+// LeavesUnder returns the leaf descendants of n in document order as a
+// subslice of the index's flat leaf sequence. Callers must not modify
+// the returned slice.
+func (ix *Index) LeavesUnder(n *Node) []*Node {
+	s, ok := ix.spans[n.id]
+	if !ok {
+		return nil
+	}
+	return ix.leaves[s.leafLo:s.leafHi]
+}
+
+// Chain returns the nodes carrying the given label in document order,
+// equivalent to (*Tree).Chain but precomputed. Callers must not modify
+// the returned slice.
+func (ix *Index) Chain(label Label) []*Node { return ix.chains[label] }
+
+// Interval returns the Euler entry/exit numbers of the node with the
+// given ID. The second result is false for IDs outside the index.
+func (ix *Index) Interval(id NodeID) (in, out int32, ok bool) {
+	s, ok := ix.spans[id]
+	return s.in, s.out, ok
+}

@@ -36,9 +36,17 @@ type (
 
 	// Matching is a partial one-to-one node correspondence (§3.1).
 	Matching = match.Matching
-	// MatchOptions configures the Good Matching criteria (§5).
+	// MatchOptions configures the Good Matching criteria (§5) and the
+	// matching engine: Parallelism bounds the worker pool for
+	// independent label rounds (0 means GOMAXPROCS, 1 forces
+	// sequential), DisableMemo turns off the comparison memo for A/B
+	// measurement. Both knobs are behaviour-preserving — every
+	// configuration returns the identical matching.
 	MatchOptions = match.Options
-	// MatchStats carries the §8 work counters.
+	// MatchStats carries the §8 work counters: LeafCompares/
+	// PartnerChecks are the logical r1/r2 of Figure 13(b), invariant
+	// across engine configurations; the Effective* fields count the
+	// work that actually executed after memoization.
 	MatchStats = match.Stats
 
 	// Result is the outcome of Diff: script, matchings, transformed tree.
