@@ -207,6 +207,47 @@ func BenchmarkStageEditScript(b *testing.B) {
 	}
 }
 
+// wideFlatPair is a scaled-down editperf shape (see
+// internal/bench/editperf.go): one sentence list of fanout 2048 with
+// inserts and intra-parent moves, driven with the ground-truth
+// matching so the benchmark isolates the generation phase.
+func wideFlatPair(b *testing.B) (*ladiff.Tree, *ladiff.Tree, *match.Matching) {
+	b.Helper()
+	doc := gen.Document(gen.DocParams{
+		Seed: 1, Sections: 1, MinParagraphs: 1, MaxParagraphs: 1,
+		MinSentences: 2048, MaxSentences: 2048,
+	})
+	pert, err := gen.Perturb(doc, gen.PerturbParams{Seed: 101, InsertSentences: 400, MoveSentences: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return doc, pert.New, pert.Truth
+}
+
+func BenchmarkStageEditScriptWideFlat(b *testing.B) {
+	oldT, newT, m := wideFlatPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EditScriptWith(oldT, newT, m, core.GenOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageEditScriptWideFlatScan is the same pair through the
+// reference linear-scan FindPos — the floor the generation index is
+// measured against (BENCH_editscript.json records the full-size pair).
+func BenchmarkStageEditScriptWideFlatScan(b *testing.B) {
+	oldT, newT, m := wideFlatPair(b)
+	opts := core.GenOptions{DisableIndex: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EditScriptWith(oldT, newT, m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkStageFullPipeline(b *testing.B) {
 	oldT, newT := mediumPair(b)
 	b.ResetTimer()

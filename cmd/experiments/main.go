@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript]
+//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,matchperf,editperf]
 //
 // With no -run flag every experiment runs. The output of a full run is
 // recorded in EXPERIMENTS.md alongside the paper's numbers.
@@ -23,8 +23,10 @@ import (
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiments to run (default: all)")
 	perfOut := flag.String("perfout", "BENCH_matching.json", "output path for the matchperf report")
+	editPerfOut := flag.String("editperfout", "BENCH_editscript.json", "output path for the editperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
+	editPerfOutPath = *editPerfOut
 
 	all := []struct {
 		name string
@@ -39,6 +41,7 @@ func main() {
 		{"ablation", runAblation},
 		{"quality", runQuality},
 		{"matchperf", runMatchPerf},
+		{"editperf", runEditPerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -277,6 +280,36 @@ func runMatchPerf() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", perfOutPath)
+	fmt.Println()
+	return nil
+}
+
+// editPerfOutPath is where runEditPerf writes BENCH_editscript.json.
+var editPerfOutPath = "BENCH_editscript.json"
+
+func runEditPerf() error {
+	report, err := bench.CollectEditPerf(5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Edit-script generation: scan FindPos vs order-statistic index ==")
+	fmt.Println("   (wide-flat pair; PosScans is the logical Theorem C.2 counter and must")
+	fmt.Println("    not drift between configurations; scripts are verified byte-identical)")
+	var rows [][]string
+	for _, r := range []bench.EditPerfRun{report.Before, report.After} {
+		rows = append(rows, []string{
+			r.Name, fmt.Sprintf("%.2f", float64(r.NsPerOp)/1e6),
+			fmt.Sprint(r.ScriptOps), fmt.Sprint(r.PosScans),
+			fmt.Sprint(r.EffectivePosScans),
+		})
+	}
+	fmt.Print(bench.FormatTable([]string{"config", "ms/op", "script ops", "pos scans", "eff pos steps"}, rows))
+	fmt.Printf("scripts identical: %v\n", report.ScriptsIdentical)
+	fmt.Printf("speedup scan→indexed: %.1fx\n", report.SpeedupX)
+	if err := report.WriteEditPerf(editPerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", editPerfOutPath)
 	fmt.Println()
 	return nil
 }

@@ -42,6 +42,9 @@ type Options struct {
 	// CostModel prices the resulting script for Result reporting. The
 	// zero value means the paper's unit-cost model.
 	CostModel *edit.CostModel
+	// Gen configures the edit-script generator; the zero value selects
+	// the indexed FindPos path.
+	Gen GenOptions
 }
 
 // Diff runs the full change-detection pipeline of the paper on old and
@@ -70,7 +73,7 @@ func Diff(old, new *tree.Tree, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("core: post-processing: %w", err)
 		}
 	}
-	return EditScript(old, new, m)
+	return EditScriptWith(old, new, m, opts.Gen)
 }
 
 // zsMatching builds a matching from an optimal Zhang–Shasha mapping

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ladiff/internal/edit"
+	"ladiff/internal/gen"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+	"ladiff/internal/zs"
+)
+
+// diffWorkloads spans the gen package's workload classes: the knobs of
+// DocParams (shape, duplicate pressure) crossed with the perturbation
+// mixes of PerturbParams. Each class is run over several seeds.
+var diffWorkloads = []struct {
+	name string
+	doc  gen.DocParams
+	pert func(seed int64) gen.PerturbParams
+	// expectWin asserts that the indexed path executes strictly fewer
+	// position steps than the logical scan cost — only meaningful on
+	// wide sibling lists, where the O(log fanout) advantage dominates
+	// the index's fixed costs.
+	expectWin bool
+}{
+	{
+		name: "default-mix",
+		doc:  gen.DocParams{},
+		pert: func(seed int64) gen.PerturbParams { return gen.Mix(seed, 24) },
+	},
+	{
+		name: "wide-flat",
+		doc: gen.DocParams{
+			Sections: 2, MinParagraphs: 1, MaxParagraphs: 2,
+			MinSentences: 64, MaxSentences: 96,
+		},
+		pert:      func(seed int64) gen.PerturbParams { return gen.Mix(seed, 200) },
+		expectWin: true,
+	},
+	{
+		name: "near-duplicates",
+		doc:  gen.DocParams{DuplicateRate: 0.35, Vocabulary: 120},
+		pert: func(seed int64) gen.PerturbParams { return gen.Mix(seed, 20) },
+	},
+	{
+		name: "move-heavy",
+		doc:  gen.DocParams{},
+		pert: func(seed int64) gen.PerturbParams {
+			return gen.PerturbParams{Seed: seed, MoveSentences: 18, MoveParagraphs: 6}
+		},
+	},
+	{
+		name: "insert-delete-heavy",
+		doc:  gen.DocParams{},
+		pert: func(seed int64) gen.PerturbParams {
+			return gen.PerturbParams{Seed: seed, InsertSentences: 14, DeleteSentences: 14}
+		},
+	},
+	{
+		name: "update-heavy",
+		doc:  gen.DocParams{},
+		pert: func(seed int64) gen.PerturbParams {
+			return gen.PerturbParams{Seed: seed, UpdateSentences: 20, UpdateFraction: 0.4}
+		},
+	},
+}
+
+// TestDifferentialIndexedVsScan is the differential oracle for the
+// generation index: on every workload class, the indexed generator must
+// emit a script identical op-for-op to the reference scan generator,
+// charge identical logical WorkStats, and the replayed script must
+// reproduce the new tree.
+func TestDifferentialIndexedVsScan(t *testing.T) {
+	for _, wl := range diffWorkloads {
+		t.Run(wl.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				doc := wl.doc
+				doc.Seed = seed
+				t1 := gen.Document(doc)
+				pert, err := gen.Perturb(t1, wl.pert(seed+100))
+				if err != nil {
+					t.Fatalf("seed %d: perturb: %v", seed, err)
+				}
+				assertIndexedMatchesScan(t, seed, t1, pert.New, pert.Truth, wl.expectWin)
+				// An empty matching exercises the dummy-root wrapping path:
+				// everything is inserted and deleted.
+				if seed == 1 {
+					assertIndexedMatchesScan(t, seed, t1, pert.New, match.NewMatching(), false)
+				}
+			}
+		})
+	}
+}
+
+func assertIndexedMatchesScan(t *testing.T, seed int64, t1, t2 *tree.Tree, m *match.Matching, expectWin bool) {
+	t.Helper()
+	indexed, err := EditScriptWith(t1, t2, m, GenOptions{})
+	if err != nil {
+		t.Fatalf("seed %d: indexed EditScript: %v", seed, err)
+	}
+	scan, err := EditScriptWith(t1, t2, m, GenOptions{DisableIndex: true})
+	if err != nil {
+		t.Fatalf("seed %d: scan EditScript: %v", seed, err)
+	}
+	if len(indexed.Script) != len(scan.Script) {
+		t.Fatalf("seed %d: script lengths differ: indexed %d, scan %d",
+			seed, len(indexed.Script), len(scan.Script))
+	}
+	for i := range indexed.Script {
+		if indexed.Script[i] != scan.Script[i] {
+			t.Fatalf("seed %d: op %d differs:\n  indexed: %v\n  scan:    %v",
+				seed, i, indexed.Script[i], scan.Script[i])
+		}
+	}
+	iw, sw := indexed.Work, scan.Work
+	if iw.Visits != sw.Visits || iw.AlignEquals != sw.AlignEquals ||
+		iw.PosScans != sw.PosScans || iw.Ops != sw.Ops {
+		t.Fatalf("seed %d: logical WorkStats differ:\n  indexed: %+v\n  scan:    %+v", seed, iw, sw)
+	}
+	if sw.EffectivePosScans != sw.PosScans {
+		t.Fatalf("seed %d: scan path executed %d steps for %d logical PosScans; they must be equal",
+			seed, sw.EffectivePosScans, sw.PosScans)
+	}
+	if expectWin && iw.EffectivePosScans >= iw.PosScans {
+		t.Fatalf("seed %d: indexed path executed %d position steps, logical scan cost is %d; expected a win on wide fanout",
+			seed, iw.EffectivePosScans, iw.PosScans)
+	}
+	applied, err := indexed.ApplyToOld()
+	if err != nil {
+		t.Fatalf("seed %d: replaying indexed script: %v", seed, err)
+	}
+	ref := t2
+	if indexed.RootsWrapped {
+		ref = t2.Clone()
+		ref.WrapRoot(dummyRootLabel, "")
+	}
+	if !tree.Isomorphic(applied, ref) {
+		t.Fatalf("seed %d: replayed tree not isomorphic to the new tree", seed)
+	}
+}
+
+// randomSmallTree builds a random tree with at most maxNodes nodes,
+// small enough for exact Zhang–Shasha comparison.
+func randomSmallTree(rng *rand.Rand, maxNodes int) *tree.Tree {
+	labels := []tree.Label{"a", "b", "c"}
+	values := []string{"", "x", "y", "z"}
+	t := tree.NewWithRoot(labels[rng.Intn(len(labels))], values[rng.Intn(len(values))])
+	nodes := []*tree.Node{t.Root()}
+	n := 1 + rng.Intn(maxNodes)
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		c := t.AppendChild(parent, labels[rng.Intn(len(labels))], values[rng.Intn(len(values))])
+		nodes = append(nodes, c)
+	}
+	return t
+}
+
+// subtreeNodes counts the nodes of the subtree rooted at n.
+func subtreeNodes(n *tree.Node) int {
+	total := 1
+	for _, c := range n.Children() {
+		total += subtreeNodes(c)
+	}
+	return total
+}
+
+// movExpansion replays the script on a clone of the result's (wrapped)
+// old tree and returns Σ 2·|subtree(m)| over the MOV operations, sized
+// at the moment each move applies — the cost of simulating the moves
+// with delete+insert pairs in the Zhang–Shasha operation set.
+func movExpansion(t *testing.T, res *Result) int {
+	t.Helper()
+	work := res.Old.Clone()
+	if res.RootsWrapped {
+		work.WrapRoot(dummyRootLabel, "")
+	}
+	total := 0
+	for _, op := range res.Script {
+		if op.Kind == edit.Move {
+			total += 2 * subtreeNodes(work.Node(op.Node))
+		}
+		if err := op.Apply(work); err != nil {
+			t.Fatalf("replaying script for move expansion: %v", err)
+		}
+	}
+	return total
+}
+
+// TestZSCrossCheck pins the §8 comparison against Zhang–Shasha on small
+// random trees. Two assertions per pair:
+//
+//   - Soundness: the ZS unit distance never exceeds the Chawathe
+//     script's cost expressed in the ZS operation set (INS+DEL+UPD,
+//     with each MOV expanded to delete+insert of the moved subtree) —
+//     ZS is optimal for that operation set, so a violation means one
+//     of the two implementations is wrong.
+//   - Conformance regression pin: on these seeded workloads the script
+//     operation count stays within a bounded factor of the ZS distance.
+//     The factor is an empirical pin (the paper's minimality is w.r.t.
+//     conforming scripts, not ZS; unrelated pairs that ZS solves with
+//     relabels cost this pipeline a delete+insert each, observed worst
+//     11.0×), chosen with headroom over the observed maximum so genuine
+//     drift is caught without flakiness.
+func TestZSCrossCheck(t *testing.T) {
+	const maxFactor = 16.0
+	worst := 0.0
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := randomSmallTree(rng, 12)
+		var t2 *tree.Tree
+		if seed%2 == 0 {
+			t2 = randomSmallTree(rng, 12)
+		} else {
+			// A related pair: clone and lightly mutate, keeping IDs so the
+			// matcher has real structure to find.
+			t2 = t1.Clone()
+			for i := 0; i < 3; i++ {
+				all := t2.PreOrder()
+				n := all[rng.Intn(len(all))]
+				switch rng.Intn(3) {
+				case 0:
+					t2.SetValue(n, fmt.Sprint("v", i))
+				case 1:
+					t2.AppendChild(n, "b", "w")
+				case 2:
+					if n.IsLeaf() && n != t2.Root() {
+						if err := t2.Delete(n); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+		res, err := Diff(t1, t2, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Diff: %v", seed, err)
+		}
+		zsDist, err := zs.UnitDistance(t1, t2)
+		if err != nil {
+			t.Fatalf("seed %d: zs: %v", seed, err)
+		}
+		inserts, deletes, updates, _ := res.Script.Counts()
+		zsCost := inserts + deletes + updates + movExpansion(t, res)
+		if zsDist > float64(zsCost) {
+			t.Fatalf("seed %d: ZS distance %g exceeds the script's ZS-expressible cost %d",
+				seed, zsDist, zsCost)
+		}
+		if zsDist > 0 {
+			ratio := float64(len(res.Script)) / zsDist
+			if ratio > worst {
+				worst = ratio
+			}
+			if ratio > maxFactor {
+				t.Fatalf("seed %d: script length %d is %.2f× the ZS distance %g (pin: ≤ %.1f×)",
+					seed, len(res.Script), ratio, zsDist, maxFactor)
+			}
+		} else if len(res.Script) != 0 {
+			// Isomorphic inputs must produce an empty script under the
+			// ground-up pipeline.
+			t.Fatalf("seed %d: ZS distance 0 but script has %d ops", seed, len(res.Script))
+		}
+	}
+	t.Logf("worst script/ZS ratio over the corpus: %.2f", worst)
+}
+
+// TestFindPosRootAccounting covers the FindPos root path: a root has no
+// siblings to scan, but the call still costs one probe, and both
+// implementations must charge it identically. (The path is unreachable
+// from EditScript — every call site guarantees a parent — so it is
+// pinned directly.)
+func TestFindPosRootAccounting(t *testing.T) {
+	newT := tree.NewWithRoot("doc", "")
+	newT.AppendChild(newT.Root(), "s", "x")
+	workT := newT.Clone()
+
+	scan := &generator{work: workT, new: newT, mm: match.NewMatching(),
+		inOrder2: map[tree.NodeID]bool{}, result: &Result{}}
+	k, err := scan.findPos(newT.Root())
+	if err != nil || k != 1 {
+		t.Fatalf("scan findPos(root) = %d, %v; want 1, nil", k, err)
+	}
+	if got := scan.result.Work.PosScans; got != 1 {
+		t.Fatalf("scan findPos(root) charged %d PosScans, want 1", got)
+	}
+	if got := scan.result.Work.EffectivePosScans; got != 1 {
+		t.Fatalf("scan findPos(root) charged %d EffectivePosScans, want 1", got)
+	}
+
+	indexed := &generator{work: workT, new: newT, mm: match.NewMatching(),
+		inOrder2: map[tree.NodeID]bool{}, result: &Result{}}
+	indexed.gi = newGenIndex(newT, workT, indexed.inOrder2)
+	k, err = indexed.findPos(newT.Root())
+	if err != nil || k != 1 {
+		t.Fatalf("indexed findPos(root) = %d, %v; want 1, nil", k, err)
+	}
+	if got := indexed.result.Work.PosScans; got != 1 {
+		t.Fatalf("indexed findPos(root) charged %d PosScans, want 1", got)
+	}
+	if got := indexed.result.Work.EffectivePosScans; got != 1 {
+		t.Fatalf("indexed findPos(root) charged %d EffectivePosScans, want 1", got)
+	}
+}

@@ -95,9 +95,24 @@ type WorkStats struct {
 	PosScans int64
 	// Ops is the emitted script length.
 	Ops int64
+
+	// EffectivePosScans counts the elementary position-index operations
+	// actually executed by FindPos: Fenwick and order-statistic steps on
+	// the indexed path (O(log fanout) per call), or one per sibling
+	// visited on the scan path, where it equals PosScans. PosScans keeps
+	// reporting the paper's logical scan cost either way, mirroring the
+	// Comparisons/EffectiveComparisons convention of match.Stats.
+	EffectivePosScans int64
+	// EffectiveAlignEquals counts equality probes actually executed by
+	// AlignChildren's LCS. The probes themselves are not memoized, so it
+	// currently equals AlignEquals; it exists so the executed-work
+	// surface stays uniform across counters.
+	EffectiveAlignEquals int64
 }
 
-// Total returns the sum of all work counters.
+// Total returns the sum of the logical work counters — the paper's
+// O(ND) measure. Effective* counters are excluded: they describe
+// executed machine work, not the algorithm's abstract cost.
 func (w WorkStats) Total() int64 { return w.Visits + w.AlignEquals + w.PosScans + w.Ops }
 
 // ApplyToOld replays the script on a fresh clone of Old and returns the
@@ -128,6 +143,17 @@ func (r *Result) ApplyToOld() (*tree.Tree, error) {
 // roots are unmatched. The label is deliberately improbable in user data.
 const dummyRootLabel tree.Label = "\x00dummy-root"
 
+// GenOptions configures the edit-script generator. The zero value is
+// the production configuration: indexed FindPos.
+type GenOptions struct {
+	// DisableIndex forces the reference linear-scan FindPos of Figure 9
+	// instead of the order-statistic index. The emitted script and the
+	// logical WorkStats are identical either way (the differential tests
+	// pin this); only Effective* counters and wall-clock time differ.
+	// Useful as a differential oracle and for paper-faithful tracing.
+	DisableIndex bool
+}
+
 // EditScript runs Algorithm EditScript (Figure 8): it computes a
 // minimum-cost edit script that conforms to the matching m and transforms
 // t1 into a tree isomorphic to t2. Neither input tree is modified. The
@@ -135,6 +161,11 @@ const dummyRootLabel tree.Label = "\x00dummy-root"
 // (*match.Matching).Validate); conformance means the script never deletes
 // a t1-matched node and never re-creates a t2-matched node by insertion.
 func EditScript(t1, t2 *tree.Tree, m *match.Matching) (*Result, error) {
+	return EditScriptWith(t1, t2, m, GenOptions{})
+}
+
+// EditScriptWith is EditScript with explicit generator options.
+func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Result, error) {
 	if t1 == nil || t2 == nil || t1.Root() == nil || t2.Root() == nil {
 		return nil, errors.New("core: EditScript requires two non-empty trees")
 	}
@@ -146,6 +177,7 @@ func EditScript(t1, t2 *tree.Tree, m *match.Matching) (*Result, error) {
 		work:     t1.Clone(),
 		new:      t2,
 		mm:       m.Clone(),
+		opts:     opts,
 		inOrder1: make(map[tree.NodeID]bool),
 		inOrder2: make(map[tree.NodeID]bool),
 		result: &Result{
@@ -176,8 +208,18 @@ func EditScript(t1, t2 *tree.Tree, m *match.Matching) (*Result, error) {
 		g.result.WrappedNewRoot = d2.ID()
 	}
 
+	// The generation index is built after wrapping so that childPos
+	// covers the dummy roots; the working tree's PosIndex is maintained
+	// through every emitted operation from here on.
+	if !opts.DisableIndex {
+		g.gi = newGenIndex(g.new, g.work, g.inOrder2)
+	}
+
 	if err := g.run(); err != nil {
 		return nil, err
+	}
+	if g.gi != nil {
+		g.result.Work.EffectivePosScans += g.gi.steps + g.gi.pos.Steps()
 	}
 
 	g.result.Script = g.script
@@ -197,6 +239,10 @@ type generator struct {
 	work *tree.Tree // evolving copy of T1 (old IDs preserved)
 	new  *tree.Tree // T2 (or a wrapped clone of it)
 	mm   *match.Matching
+	opts GenOptions
+	// gi is the edit-script generation index (genindex.go); nil when
+	// opts.DisableIndex selects the reference scan path.
+	gi *genIndex
 	// inOrder1 marks working-tree nodes "in order", inOrder2 marks
 	// new-tree nodes; AlignChildren resets the marks for each sibling
 	// group before aligning it (Figure 9).
@@ -343,6 +389,9 @@ func (g *generator) nextWorkID() tree.NodeID {
 func (g *generator) markInOrder(w, x *tree.Node) {
 	g.inOrder1[w.ID()] = true
 	g.inOrder2[x.ID()] = true
+	if g.gi != nil {
+		g.gi.onMark(x)
+	}
 }
 
 // alignChildren is Function AlignChildren (Figure 9): given partners w
@@ -361,6 +410,9 @@ func (g *generator) alignChildren(w, x *tree.Node) error {
 	}
 	for _, c := range x.Children() {
 		g.inOrder2[c.ID()] = false
+	}
+	if g.gi != nil {
+		g.gi.onReset(x.ID())
 	}
 	// Step 2: S1 = children of w whose partners are children of x;
 	// S2 = children of x whose partners are children of w.
@@ -382,6 +434,7 @@ func (g *generator) alignChildren(w, x *tree.Node) error {
 	// Steps 3–5: LCS under equal(a,b) ⇔ (a,b) ∈ M'; its pairs stay put.
 	pairs := lcsPairs(s1, s2, func(a, b *tree.Node) bool {
 		g.result.Work.AlignEquals++
+		g.result.Work.EffectiveAlignEquals++
 		return g.mm.Has(a.ID(), b.ID())
 	})
 	inLCS := make(map[tree.NodeID]bool, len(pairs))
@@ -417,15 +470,77 @@ func (g *generator) alignChildren(w, x *tree.Node) error {
 // partner u of the rightmost in-order left sibling v of x. For moves the
 // index is interpreted with the moved node already detached, matching
 // tree.Move's semantics.
+//
+// Two interchangeable implementations exist: the indexed path
+// (findPosIndexed, O(log fanout) per call) and the reference scan path
+// (findPosScan, the literal Figure 9 loops, O(fanout) per call). They
+// return identical positions and charge identical logical PosScans; the
+// differential tests in differential_test.go pin the equivalence.
 func (g *generator) findPos(x *tree.Node) (int, error) {
+	if g.gi != nil {
+		return g.findPosIndexed(x)
+	}
+	return g.findPosScan(x)
+}
+
+// findPosIndexed answers FindPos from the generation index. The logical
+// PosScans charges replicate the scan path exactly: the first scan
+// visits x's left siblings and x itself (childPos[x] steps), the second
+// visits the working-tree siblings up to and including u (u's raw child
+// index); executed work accrues to the index step counters instead.
+func (g *generator) findPosIndexed(x *tree.Node) (int, error) {
 	y := x.Parent()
 	if y == nil {
+		g.result.Work.PosScans++
+		g.result.Work.EffectivePosScans++
+		return 1, nil
+	}
+	xi := g.gi.childPos[x.ID()]
+	g.result.Work.PosScans += int64(xi)
+	// Steps 2–3: the rightmost in-order left sibling v, by predecessor
+	// query on the parent's in-order Fenwick tree.
+	vi := g.gi.bitsFor(y).prevSet(xi - 1)
+	if vi == 0 {
+		return 1, nil
+	}
+	v := y.Children()[vi-1]
+	// Steps 4–5: u is v's partner; x goes directly after u.
+	uID, ok := g.mm.ToOld(v.ID())
+	if !ok {
+		return 0, fmt.Errorf("core: in-order node %v has no partner", v)
+	}
+	u := g.work.Node(uID)
+	if u == nil || u.Parent() == nil {
+		return 0, fmt.Errorf("core: partner %d of in-order node %v not positioned", uID, v)
+	}
+	rU := g.gi.pos.Rank(u)
+	g.result.Work.PosScans += int64(rU)
+	// Exclude x's own partner if it is currently a left sibling of u
+	// (a move detaches before re-inserting, shifting positions left of
+	// the target).
+	k := rU + 1
+	if xPartnerID, hasPartner := g.mm.ToOld(x.ID()); hasPartner {
+		if xp := g.work.Node(xPartnerID); xp != nil && xp.Parent() == u.Parent() && g.gi.pos.Rank(xp) < rU {
+			k = rU
+		}
+	}
+	return k, nil
+}
+
+// findPosScan is the reference FindPos: the two literal sibling scans
+// of Figure 9, kept as the differential oracle for the indexed path.
+func (g *generator) findPosScan(x *tree.Node) (int, error) {
+	y := x.Parent()
+	if y == nil {
+		g.result.Work.PosScans++
+		g.result.Work.EffectivePosScans++
 		return 1, nil
 	}
 	// Steps 2–3: rightmost left sibling of x marked "in order".
 	var v *tree.Node
 	for _, sib := range y.Children() {
 		g.result.Work.PosScans++
+		g.result.Work.EffectivePosScans++
 		if sib == x {
 			break
 		}
@@ -452,6 +567,7 @@ func (g *generator) findPos(x *tree.Node) (int, error) {
 	idx := 0
 	for _, sib := range u.Parent().Children() {
 		g.result.Work.PosScans++
+		g.result.Work.EffectivePosScans++
 		if hasPartner && sib.ID() == xPartnerID {
 			continue
 		}

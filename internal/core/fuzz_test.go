@@ -1,12 +1,39 @@
 package core_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"ladiff/internal/core"
 	"ladiff/internal/textdoc"
 	"ladiff/internal/tree"
 )
+
+// wideFlatText builds a one-paragraph document whose paragraph node has
+// the given fanout — the shape that stresses FindPos and the generation
+// index's per-parent structures.
+func wideFlatText(fanout int) string {
+	var b strings.Builder
+	for i := 0; i < fanout; i++ {
+		fmt.Fprintf(&b, "Sentence number %d right here. ", i)
+	}
+	return b.String()
+}
+
+// deepChainTree renders a depth-deep single chain in the tree.Parse
+// indented format, with one leaf value at the bottom.
+func deepChainTree(depth int, leafValue string) string {
+	var b strings.Builder
+	b.WriteString("root\n")
+	for d := 1; d < depth; d++ {
+		b.WriteString(strings.Repeat("  ", d))
+		b.WriteString("n\n")
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&b, "leaf %q\n", leafValue)
+	return b.String()
+}
 
 // FuzzDiffText runs the full pipeline on arbitrary pairs of plain-text
 // documents: it must never panic, and every successful diff must satisfy
@@ -18,6 +45,10 @@ func FuzzDiffText(f *testing.F) {
 	f.Add("A b c d e. F g h i j.\n\nK l m n o.", "K l m n o.\n\nA b c d e.")
 	f.Add("dup dup dup. dup dup dup.", "dup dup dup.")
 	f.Add("x.", "y.")
+	// Wide flat fanout (≥ 64 siblings under one paragraph): the shape
+	// where the indexed FindPos path diverges most from the linear scan.
+	f.Add(wideFlatText(64), wideFlatText(96))
+	f.Add(wideFlatText(80), "Sentence number 3 right here. "+wideFlatText(72))
 	f.Fuzz(func(t *testing.T, oldSrc, newSrc string) {
 		oldT := textdoc.Parse(oldSrc)
 		newT := textdoc.Parse(newSrc)
@@ -39,6 +70,58 @@ func FuzzDiffText(f *testing.F) {
 		}
 		if _, err := res.ApplyToOld(); err != nil {
 			t.Fatalf("replay failed: %v\nold: %q\nnew: %q", err, oldSrc, newSrc)
+		}
+	})
+}
+
+// FuzzDiffParsedTree drives the pipeline over arbitrary trees in the
+// tree.Parse indented format — shapes textdoc cannot produce (deep
+// chains, arbitrary nesting). Invalid inputs are skipped; valid pairs
+// must diff without panicking, and both generator configurations must
+// agree op-for-op (the differential oracle, under fuzzed shapes).
+func FuzzDiffParsedTree(f *testing.F) {
+	f.Add("a\n  b\n  c", "a\n  c\n  b")
+	f.Add("root \"v\"\n  kid \"w\"", "root \"v\"")
+	// Deep chains: FindPos and alignment at every level of a tall tree.
+	f.Add(deepChainTree(48, "bottom"), deepChainTree(48, "changed"))
+	f.Add(deepChainTree(64, "x"), deepChainTree(32, "x"))
+	// Wide flat at the root, as a tree literal.
+	f.Add("r\n"+strings.Repeat("  s \"q\"\n", 70), "r\n"+strings.Repeat("  s \"q\"\n", 66))
+	f.Fuzz(func(t *testing.T, oldSrc, newSrc string) {
+		// Cap input size: the reference scan generator is deliberately
+		// quadratic in fanout, and unbounded mutated inputs turn single
+		// execs into multi-second runs that starve the fuzz loop.
+		if len(oldSrc) > 1<<12 || len(newSrc) > 1<<12 {
+			t.Skip()
+		}
+		oldT, err := tree.Parse(oldSrc)
+		if err != nil {
+			t.Skip()
+		}
+		newT, err := tree.Parse(newSrc)
+		if err != nil {
+			t.Skip()
+		}
+		indexed, err := core.Diff(oldT, newT, core.Options{})
+		if err != nil {
+			t.Fatalf("Diff failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
+		}
+		scan, err := core.Diff(oldT, newT, core.Options{Gen: core.GenOptions{DisableIndex: true}})
+		if err != nil {
+			t.Fatalf("Diff (scan) failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
+		}
+		if len(indexed.Script) != len(scan.Script) {
+			t.Fatalf("script lengths differ: indexed %d, scan %d\nold:\n%s\nnew:\n%s",
+				len(indexed.Script), len(scan.Script), oldSrc, newSrc)
+		}
+		for i := range indexed.Script {
+			if indexed.Script[i] != scan.Script[i] {
+				t.Fatalf("op %d differs:\n  indexed: %v\n  scan:    %v\nold:\n%s\nnew:\n%s",
+					i, indexed.Script[i], scan.Script[i], oldSrc, newSrc)
+			}
+		}
+		if _, err := indexed.ApplyToOld(); err != nil {
+			t.Fatalf("replay failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
 		}
 	})
 }

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/latex"
+	"ladiff/internal/tree"
+)
+
+// loadAppendixAPair parses the Appendix A sample documents from
+// testdata (the pair EXPERIMENTS.md E1 renders).
+func loadAppendixAPair(t *testing.T) (*tree.Tree, *tree.Tree) {
+	t.Helper()
+	oldSrc, err := os.ReadFile(filepath.Join("..", "..", "testdata", "texbook_old.tex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSrc, err := os.ReadFile(filepath.Join("..", "..", "testdata", "texbook_new.tex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldT, err := latex.Parse(string(oldSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newT, err := latex.Parse(string(newSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oldT, newT
+}
+
+// TestWorkStatsAppendixAPin pins the exact logical WorkStats of the
+// default pipeline on the Appendix A sample trees. The counters are the
+// machine-independent O(ND) measure of Theorem C.2: they must not move
+// when the execution strategy changes (indexing, memoization), only
+// when the algorithm itself does. A deliberate algorithmic change must
+// update these constants — with an explanation.
+func TestWorkStatsAppendixAPin(t *testing.T) {
+	oldT, newT := loadAppendixAPair(t)
+	want := core.WorkStats{
+		Visits:      56,
+		AlignEquals: 19,
+		PosScans:    27,
+		Ops:         16,
+	}
+	for _, cfg := range []struct {
+		name string
+		gen  core.GenOptions
+	}{
+		{"indexed", core.GenOptions{}},
+		{"scan", core.GenOptions{DisableIndex: true}},
+	} {
+		res, err := core.Diff(oldT, newT, core.Options{Gen: cfg.gen})
+		if err != nil {
+			t.Fatalf("%s: Diff: %v", cfg.name, err)
+		}
+		got := res.Work
+		if got.Visits != want.Visits || got.AlignEquals != want.AlignEquals ||
+			got.PosScans != want.PosScans || got.Ops != want.Ops {
+			t.Errorf("%s: logical WorkStats drifted:\n  got  Visits=%d AlignEquals=%d PosScans=%d Ops=%d\n  want Visits=%d AlignEquals=%d PosScans=%d Ops=%d",
+				cfg.name,
+				got.Visits, got.AlignEquals, got.PosScans, got.Ops,
+				want.Visits, want.AlignEquals, want.PosScans, want.Ops)
+		}
+		if cfg.gen.DisableIndex && got.EffectivePosScans != got.PosScans {
+			t.Errorf("scan: EffectivePosScans=%d, want PosScans=%d (executed equals logical on the scan path)",
+				got.EffectivePosScans, got.PosScans)
+		}
+	}
+}

@@ -70,6 +70,9 @@ func buildIndex(t *Tree) *Index {
 }
 
 // invalidateIndex drops the cached index after a structural mutation.
+// The maintained PosIndex (positions.go) is deliberately not dropped
+// here: the same mutations that invalidate this snapshot notify the
+// position index incrementally through onAttach/onDetach hooks.
 func (t *Tree) invalidateIndex() { t.index = nil }
 
 // IsAncestor reports whether a is a proper ancestor of n, by interval

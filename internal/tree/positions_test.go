@@ -1,0 +1,150 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPosIndexRankMatchesChildIndex drives a tree through a random
+// mutation sequence and checks, after every step, that PosIndex.Rank
+// agrees with the linear-scan ChildIndex for every node and that the
+// treaps mirror the child slices exactly.
+func TestPosIndexRankMatchesChildIndex(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewWithRoot("root", "")
+		ix := tr.Positions()
+		nodes := []*Node{tr.Root()}
+
+		check := func(step string) {
+			t.Helper()
+			if err := ix.validate(); err != nil {
+				t.Fatalf("seed %d after %s: %v", seed, step, err)
+			}
+			for _, n := range tr.PreOrder() {
+				if got, want := ix.Rank(n), n.ChildIndex(); got != want {
+					t.Fatalf("seed %d after %s: Rank(%v) = %d, ChildIndex = %d", seed, step, n, got, want)
+				}
+			}
+		}
+
+		// Seed some structure, ranking as we go so lists get built early
+		// and exercise the incremental maintenance rather than the lazy
+		// build.
+		for i := 0; i < 30; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			k := 1 + rng.Intn(parent.NumChildren()+1)
+			n := tr.InsertChild(parent, k, "c", fmt.Sprint(i))
+			nodes = append(nodes, n)
+			if i%3 == 0 {
+				check(fmt.Sprintf("insert %d", i))
+			}
+		}
+		check("seeding")
+
+		for step := 0; step < 120; step++ {
+			live := nodes[:0:0]
+			for _, n := range nodes {
+				if tr.Contains(n.ID()) {
+					live = append(live, n)
+				}
+			}
+			switch rng.Intn(4) {
+			case 0: // insert
+				parent := live[rng.Intn(len(live))]
+				k := 1 + rng.Intn(parent.NumChildren()+1)
+				n := tr.InsertChild(parent, k, "c", fmt.Sprint(step))
+				nodes = append(nodes, n)
+			case 1: // delete a random leaf (not the root)
+				var leaves []*Node
+				for _, n := range live {
+					if n.IsLeaf() && n != tr.Root() {
+						leaves = append(leaves, n)
+					}
+				}
+				if len(leaves) == 0 {
+					continue
+				}
+				if err := tr.Delete(leaves[rng.Intn(len(leaves))]); err != nil {
+					t.Fatalf("seed %d: delete: %v", seed, err)
+				}
+			case 2: // move
+				n := live[rng.Intn(len(live))]
+				dst := live[rng.Intn(len(live))]
+				if n == tr.Root() || n == dst || IsAncestor(n, dst) {
+					continue
+				}
+				limit := dst.NumChildren() + 1
+				if n.Parent() == dst {
+					limit = dst.NumChildren()
+				}
+				if err := tr.Move(n, dst, 1+rng.Intn(limit)); err != nil {
+					t.Fatalf("seed %d: move: %v", seed, err)
+				}
+			case 3: // rank a random live node (forces lazy builds)
+				ix.Rank(live[rng.Intn(len(live))])
+			}
+			check(fmt.Sprintf("step %d", step))
+		}
+	}
+}
+
+// TestPosIndexLazyBuild checks that ranking under a parent whose list
+// was never built still answers correctly, including after prior
+// unobserved mutations.
+func TestPosIndexLazyBuild(t *testing.T) {
+	tr := NewWithRoot("r", "")
+	var kids []*Node
+	for i := 0; i < 8; i++ {
+		kids = append(kids, tr.AppendChild(tr.Root(), "c", fmt.Sprint(i)))
+	}
+	ix := tr.Positions()
+	// Mutate before any Rank: the index must cope by building lazily
+	// from the post-mutation state.
+	if err := tr.Delete(kids[2]); err != nil {
+		t.Fatal(err)
+	}
+	tr.InsertChild(tr.Root(), 1, "c", "front")
+	for _, n := range tr.Root().Children() {
+		if got, want := ix.Rank(n), n.ChildIndex(); got != want {
+			t.Fatalf("Rank(%v) = %d, want %d", n, got, want)
+		}
+	}
+	if ix.Rank(tr.Root()) != 0 {
+		t.Fatalf("Rank(root) = %d, want 0", ix.Rank(tr.Root()))
+	}
+}
+
+// TestPosIndexWrapRoot checks the WrapRoot attach hook.
+func TestPosIndexWrapRoot(t *testing.T) {
+	tr := NewWithRoot("r", "")
+	tr.AppendChild(tr.Root(), "c", "x")
+	ix := tr.Positions()
+	oldRoot := tr.Root()
+	ix.Rank(oldRoot.Children()[0]) // build the old root's list
+	wrapped := tr.WrapRoot("w", "")
+	if got := ix.Rank(oldRoot); got != 1 {
+		t.Fatalf("Rank(old root) = %d, want 1 after wrap", got)
+	}
+	if got := ix.Rank(wrapped); got != 0 {
+		t.Fatalf("Rank(new root) = %d, want 0", got)
+	}
+	if err := ix.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPosIndexStepsAdvance pins that the executed-work counter moves.
+func TestPosIndexStepsAdvance(t *testing.T) {
+	tr := NewWithRoot("r", "")
+	for i := 0; i < 64; i++ {
+		tr.AppendChild(tr.Root(), "c", fmt.Sprint(i))
+	}
+	ix := tr.Positions()
+	before := ix.Steps()
+	ix.Rank(tr.Root().Children()[40])
+	if ix.Steps() <= before {
+		t.Fatalf("Steps did not advance: %d -> %d", before, ix.Steps())
+	}
+}

@@ -53,6 +53,9 @@ type (
 	Result = core.Result
 	// Options configures the Diff pipeline.
 	Options = core.Options
+	// GenOptions configures the edit-script generator (Options.Gen); the
+	// zero value uses the indexed FindPos path.
+	GenOptions = core.GenOptions
 
 	// DeltaTree is the annotated-overlay representation of a delta (§6).
 	DeltaTree = delta.Tree
@@ -105,6 +108,13 @@ func Diff(old, new *Tree, opts Options) (*Result, error) {
 // object identifiers and matching is trivial (§1, §5).
 func ComputeEditScript(old, new *Tree, m *Matching) (*Result, error) {
 	return core.EditScript(old, new, m)
+}
+
+// ComputeEditScriptWith is ComputeEditScript with explicit generator
+// options — e.g. GenOptions{DisableIndex: true} to force the reference
+// linear-scan FindPos for tracing or differential testing.
+func ComputeEditScriptWith(old, new *Tree, m *Matching, opts GenOptions) (*Result, error) {
+	return core.EditScriptWith(old, new, m, opts)
 }
 
 // FindMatching runs Algorithm FastMatch (Figure 11) alone and returns the
