@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,matchperf,editperf]
+//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,matchperf,editperf,servperf]
 //
 // With no -run flag every experiment runs. The output of a full run is
 // recorded in EXPERIMENTS.md alongside the paper's numbers.
@@ -24,9 +24,11 @@ func main() {
 	runFlag := flag.String("run", "", "comma-separated experiments to run (default: all)")
 	perfOut := flag.String("perfout", "BENCH_matching.json", "output path for the matchperf report")
 	editPerfOut := flag.String("editperfout", "BENCH_editscript.json", "output path for the editperf report")
+	servOut := flag.String("servout", "BENCH_serving.json", "output path for the servperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
+	servPerfOutPath = *servOut
 
 	all := []struct {
 		name string
@@ -42,6 +44,7 @@ func main() {
 		{"quality", runQuality},
 		{"matchperf", runMatchPerf},
 		{"editperf", runEditPerf},
+		{"servperf", runServPerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -310,6 +313,38 @@ func runEditPerf() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", editPerfOutPath)
+	fmt.Println()
+	return nil
+}
+
+// servPerfOutPath is where runServPerf writes BENCH_serving.json.
+var servPerfOutPath = "BENCH_serving.json"
+
+func runServPerf() error {
+	report, err := bench.CollectServingPerf(0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E11: serving-path throughput and latency (closed-loop, mixed classes) ==")
+	fmt.Println("   (full ladiffd handler stack over loopback HTTP; latencies are")
+	fmt.Println("    client-observed end to end, quantiles from the sorted sample)")
+	var rows [][]string
+	for _, c := range report.Classes {
+		rows = append(rows, []string{
+			c.Class, fmt.Sprint(c.OldNodes), fmt.Sprint(c.Requests), fmt.Sprint(c.Errors),
+			fmt.Sprintf("%.0f", c.ThroughputRPS),
+			fmt.Sprintf("%.2f", float64(c.P50US)/1e3),
+			fmt.Sprintf("%.2f", float64(c.P95US)/1e3),
+			fmt.Sprintf("%.2f", float64(c.P99US)/1e3),
+		})
+	}
+	fmt.Print(bench.FormatTable(
+		[]string{"class", "nodes", "requests", "errors", "req/s", "p50 ms", "p95 ms", "p99 ms"}, rows))
+	fmt.Printf("workers: %d, gomaxprocs: %d\n", report.Workers, report.GoMaxProcs)
+	if err := report.WriteServingPerf(servPerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", servPerfOutPath)
 	fmt.Println()
 	return nil
 }

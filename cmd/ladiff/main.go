@@ -19,6 +19,12 @@
 //	                          FastMatch pipeline (default)
 //	-query  EXPR              with -out query: delta query, e.g.
 //	                          "**/sentence[changed]"
+//	-json                     emit the delta tree as JSON in the ladiffd
+//	                          wire format (same bytes as POST /v1/diff
+//	                          with output=delta); overrides -out
+//
+// Exit codes: 0 success, 1 unclassified failure, 2 usage, 3 input
+// load/parse failure, 4 diff-pipeline failure.
 //
 // Examples:
 //
@@ -39,6 +45,7 @@ import (
 	"encoding/json"
 
 	"ladiff"
+	"ladiff/internal/cli"
 )
 
 func main() {
@@ -49,6 +56,7 @@ func main() {
 	post := flag.Bool("post", false, "enable the §8 post-processing repair pass")
 	level := flag.Int("level", -1, "optimality level A(k), 0..3; -1 = plain pipeline")
 	query := flag.String("query", "", "delta query expression for -out query")
+	jsonOut := flag.Bool("json", false, "emit the delta tree as JSON in the ladiffd wire format (overrides -out)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ladiff [flags] OLD NEW\n")
 		flag.PrintDefaults()
@@ -56,26 +64,26 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "ladiff: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string) error {
+func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string, jsonOut bool) error {
 	resolved := format
 	if resolved == "" {
 		resolved = formatByExt(oldPath)
 	}
 	oldT, err := load(oldPath, resolved)
 	if err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	newT, err := load(newPath, resolved)
 	if err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	stats := &ladiff.MatchStats{}
 	mopts := ladiff.MatchOptions{InternalThreshold: t, LeafThreshold: f, Stats: stats}
@@ -86,7 +94,14 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 		res, err = ladiff.Diff(oldT, newT, ladiff.Options{PostProcess: post, Match: mopts})
 	}
 	if err != nil {
-		return err
+		return cli.DiffError(err)
+	}
+	if jsonOut {
+		dt, err := ladiff.BuildDelta(res)
+		if err != nil {
+			return cli.DiffError(err)
+		}
+		return json.NewEncoder(os.Stdout).Encode(dt)
 	}
 	switch out {
 	case "script":
@@ -96,7 +111,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 	case "delta":
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return err
+			return cli.DiffError(err)
 		}
 		fmt.Print(dt.String())
 		return nil
@@ -104,11 +119,11 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 		return summarize(res, stats)
 	case "query":
 		if query == "" {
-			return fmt.Errorf("-out query requires -query EXPR")
+			return cli.UsageError(fmt.Errorf("-out query requires -query EXPR"))
 		}
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return err
+			return cli.DiffError(err)
 		}
 		hits, err := ladiff.DeltaQuery(dt, query)
 		if err != nil {
@@ -121,7 +136,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 	case "marked":
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return err
+			return cli.DiffError(err)
 		}
 		// The markup follows the input format: LaTeX documents get the
 		// paper's Table 2 conventions, HTML gets <ins>/<del>/<em> with
@@ -136,7 +151,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown -out %q (want marked, script, delta, summary, or query)", out)
+		return cli.UsageError(fmt.Errorf("unknown -out %q (want marked, script, delta, summary, or query)", out))
 	}
 }
 

@@ -1,0 +1,117 @@
+// Command ladiffd serves the LaDiff change-detection pipeline over
+// HTTP: POST /v1/diff and /v1/patch, GET /healthz and /metrics, with
+// pprof on a separate debug listener. It is the serving counterpart of
+// the batch cmd/ladiff tool — see DESIGN.md §8 for the architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ladiff/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8044", "service listen address")
+	debugAddr := flag.String("debug-addr", "", "debug (pprof) listen address; empty disables the debug listener")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max diffs executing at once (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a slot before 429 (0 = 64)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 5s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 30s)")
+	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 8MiB)")
+	maxNodes := flag.Int("max-nodes", 0, "max nodes per parsed document (0 = 200000)")
+	parallelism := flag.Int("match-parallelism", 0, "matcher parallelism per request (0 = 1; serve many requests, not one)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg := server.Config{
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxTreeNodes:     *maxNodes,
+		MatchParallelism: *parallelism,
+		Logger:           logger,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := serve(*addr, *debugAddr, cfg, *drainTimeout, logger, stop, nil); err != nil {
+		logger.Error("ladiffd failed", "error", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the service until a signal arrives on stop, then drains
+// gracefully: admitted requests finish (bounded by drainTimeout), new
+// ones are refused, and the listeners close. ready, when non-nil,
+// receives the bound service address once listening — how tests using
+// port 0 learn where to connect.
+func serve(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration, logger *slog.Logger, stop <-chan os.Signal, ready chan<- string) error {
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service listener: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	var dbg *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbg = &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = dbg.Serve(dln) }()
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	logger.Info("ladiffd listening", "addr", ln.Addr().String())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", fmt.Sprint(sig))
+	case err := <-errc:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the diff pipeline first (refuse new work, wait for
+	// in-flight requests), then close the HTTP side.
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Warn("drain incomplete", "error", err)
+	}
+	if dbg != nil {
+		_ = dbg.Close()
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"ladiff/internal/server"
+)
+
+// TestServeLifecycle boots the daemon on ephemeral ports, runs one
+// diff through it, then delivers a SIGTERM-equivalent on the stop
+// channel and verifies a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve("127.0.0.1:0", "127.0.0.1:0", server.Config{Logger: logger}, 5*time.Second, logger, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not start listening")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", resp.StatusCode)
+	}
+
+	reqBody, _ := json.Marshal(server.DiffRequest{
+		Old:    "Alpha beta gamma.\n",
+		New:    "Alpha beta delta.\n",
+		Format: "text",
+	})
+	resp, err = http.Post(base+"/v1/diff", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff: status %d: %s", resp.StatusCode, body)
+	}
+	var diff server.DiffResponse
+	if err := json.Unmarshal(body, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if diff.Stats.Ops == 0 {
+		t.Error("diff through the daemon produced no operations")
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after signal, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after signal")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("service listener still accepting connections after shutdown")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ladiff"
+	"ladiff/internal/cli"
+)
+
+// TestExitCodes pins the documented exit-code contract shared with
+// cmd/ladiff: usage 2, parse 3, diff 4.
+func TestExitCodes(t *testing.T) {
+	oldP, newP := writeFiles(t, oldText, newText, ".tree")
+
+	if err := run(oldP, newP, "", "summary", 0, 0, "wordlcs", false); cli.ExitCode(err) != 0 {
+		t.Errorf("successful run: exit %d, want 0 (%v)", cli.ExitCode(err), err)
+	}
+	badP, _ := writeFiles(t, "{not json", "{}", ".json")
+	if err := run(badP, badP, "", "script", 0, 0, "wordlcs", false); cli.ExitCode(err) != cli.ExitParse {
+		t.Errorf("bad input: exit %d, want %d", cli.ExitCode(err), cli.ExitParse)
+	}
+	if err := run("missing", newP, "", "script", 0, 0, "wordlcs", false); cli.ExitCode(err) != cli.ExitParse {
+		t.Errorf("missing input: exit %d, want %d", cli.ExitCode(err), cli.ExitParse)
+	}
+	if err := run(oldP, newP, "", "script", 0.3, 0, "wordlcs", false); cli.ExitCode(err) != cli.ExitDiff {
+		t.Errorf("invalid threshold: exit %d, want %d", cli.ExitCode(err), cli.ExitDiff)
+	}
+	if err := run(oldP, newP, "", "nosuch", 0, 0, "wordlcs", false); cli.ExitCode(err) != cli.ExitUsage {
+		t.Errorf("unknown output: exit %d, want %d", cli.ExitCode(err), cli.ExitUsage)
+	}
+	if err := run(oldP, newP, "", "script", 0, 0, "nosuch", false); cli.ExitCode(err) != cli.ExitUsage {
+		t.Errorf("unknown comparer: exit %d, want %d", cli.ExitCode(err), cli.ExitUsage)
+	}
+}
+
+// TestJSONFlag checks that -json emits the delta wire format: valid
+// JSON that decodes to a delta tree with the expected move pair for the
+// swapped-items fixture.
+func TestJSONFlag(t *testing.T) {
+	oldP, newP := writeFiles(t, oldText, newText, ".tree")
+	out, err := capture(t, func() error {
+		return run(oldP, newP, "", "script", 0, 0, "wordlcs", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dt ladiff.DeltaTree
+	if err := json.Unmarshal([]byte(out), &dt); err != nil {
+		t.Fatalf("-json output does not decode as a delta tree: %v\n%s", err, out)
+	}
+	if dt.Moves != 1 {
+		t.Errorf("decoded delta has %d move pairs, want 1 for the swap", dt.Moves)
+	}
+}

@@ -14,6 +14,12 @@
 //	-out    script|delta|matching|summary   (default script)
 //	-t, -f                   match thresholds (§5)
 //	-compare wordlcs|exact|levenshtein|tokenset   leaf comparer
+//	-json                    emit the delta tree as JSON in the ladiffd
+//	                         wire format (same bytes as POST /v1/diff
+//	                         with output=delta); overrides -out
+//
+// Exit codes: 0 success, 1 unclassified failure, 2 usage, 3 input
+// load/parse failure, 4 diff-pipeline failure.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strings"
 
 	"ladiff"
+	"ladiff/internal/cli"
 )
 
 func main() {
@@ -33,6 +40,7 @@ func main() {
 	tThresh := flag.Float64("t", 0, "internal match threshold t in [0.5,1] (0 = default)")
 	fThresh := flag.Float64("f", 0, "leaf match threshold f in [0,1] (0 = default)")
 	comparer := flag.String("compare", "wordlcs", "leaf comparer: wordlcs, exact, levenshtein, or tokenset")
+	jsonOut := flag.Bool("json", false, "emit the delta tree as JSON in the ladiffd wire format (overrides -out)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: treediff [flags] OLD NEW\n")
 		flag.PrintDefaults()
@@ -40,26 +48,26 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *comparer); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *comparer, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "treediff: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(oldPath, newPath, format, out string, t, f float64, comparer string) error {
+func run(oldPath, newPath, format, out string, t, f float64, comparer string, jsonOut bool) error {
 	oldT, err := load(oldPath, format)
 	if err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	newT, err := load(newPath, format)
 	if err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	cmp, err := comparerByName(comparer)
 	if err != nil {
-		return err
+		return cli.UsageError(err)
 	}
 	opts := ladiff.Options{}
 	opts.Match.Compare = cmp
@@ -67,7 +75,14 @@ func run(oldPath, newPath, format, out string, t, f float64, comparer string) er
 	opts.Match.LeafThreshold = f
 	res, err := ladiff.Diff(oldT, newT, opts)
 	if err != nil {
-		return err
+		return cli.DiffError(err)
+	}
+	if jsonOut {
+		dt, err := ladiff.BuildDelta(res)
+		if err != nil {
+			return cli.DiffError(err)
+		}
+		return json.NewEncoder(os.Stdout).Encode(dt)
 	}
 	switch out {
 	case "script":
@@ -77,7 +92,7 @@ func run(oldPath, newPath, format, out string, t, f float64, comparer string) er
 	case "delta":
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return err
+			return cli.DiffError(err)
 		}
 		fmt.Print(dt.String())
 		return nil
@@ -93,7 +108,7 @@ func run(oldPath, newPath, format, out string, t, f float64, comparer string) er
 			len(res.Script), ins, del, upd, mov, res.Cost(nil))
 		return nil
 	default:
-		return fmt.Errorf("unknown -out %q", out)
+		return cli.UsageError(fmt.Errorf("unknown -out %q", out))
 	}
 }
 

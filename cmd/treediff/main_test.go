@@ -51,7 +51,7 @@ const newText = `root
 func TestTextTreesScript(t *testing.T) {
 	oldP, newP := writeFiles(t, oldText, newText, ".tree")
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "script", 0, 0, "wordlcs")
+		return run(oldP, newP, "", "script", 0, 0, "wordlcs", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +70,7 @@ func TestJSONTrees(t *testing.T) {
 	  {"label":"row","value":"id=2 name=bob role=user"}]}`
 	oldP, newP := writeFiles(t, oldJSON, newJSON, ".json")
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "summary", 0, 1.0, "tokenset")
+		return run(oldP, newP, "", "summary", 0, 1.0, "tokenset", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestJSONTrees(t *testing.T) {
 func TestMatchingOutput(t *testing.T) {
 	oldP, newP := writeFiles(t, oldText, newText, ".tree")
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "text", "matching", 0, 0, "wordlcs")
+		return run(oldP, newP, "text", "matching", 0, 0, "wordlcs", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestMatchingOutput(t *testing.T) {
 func TestDeltaOutput(t *testing.T) {
 	oldP, newP := writeFiles(t, oldText, newText, ".tree")
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "delta", 0, 0, "exact")
+		return run(oldP, newP, "", "delta", 0, 0, "exact", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestXMLFormat(t *testing.T) {
 	newXML := `<db><rec id="1"><f>alpha beta gamma echo</f></rec></db>`
 	oldP, newP := writeFiles(t, oldXML, newXML, ".xml")
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "summary", 0, 0, "wordlcs")
+		return run(oldP, newP, "", "summary", 0, 0, "wordlcs", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestJSONDocFormat(t *testing.T) {
 	newJSON := `{"host": "db2.internal", "port": 5432}`
 	oldP, newP := writeFiles(t, oldJSON, newJSON, ".json")
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "jsondoc", "summary", 0, 0, "levenshtein")
+		return run(oldP, newP, "jsondoc", "summary", 0, 0, "levenshtein", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,20 +149,20 @@ func TestComparerSelection(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	oldP, newP := writeFiles(t, oldText, newText, ".tree")
-	if err := run("missing", newP, "", "script", 0, 0, "wordlcs"); err == nil {
+	if err := run("missing", newP, "", "script", 0, 0, "wordlcs", false); err == nil {
 		t.Fatal("expected error for missing file")
 	}
-	if err := run(oldP, newP, "nosuch", "script", 0, 0, "wordlcs"); err == nil {
+	if err := run(oldP, newP, "nosuch", "script", 0, 0, "wordlcs", false); err == nil {
 		t.Fatal("expected error for unknown format")
 	}
-	if err := run(oldP, newP, "", "nosuch", 0, 0, "wordlcs"); err == nil {
+	if err := run(oldP, newP, "", "nosuch", 0, 0, "wordlcs", false); err == nil {
 		t.Fatal("expected error for unknown output")
 	}
-	if err := run(oldP, newP, "", "script", 0, 0, "nosuch"); err == nil {
+	if err := run(oldP, newP, "", "script", 0, 0, "nosuch", false); err == nil {
 		t.Fatal("expected error for unknown comparer")
 	}
 	badP, _ := writeFiles(t, "{not json", "{}", ".json")
-	if err := run(badP, badP, "", "script", 0, 0, "wordlcs"); err == nil {
+	if err := run(badP, badP, "", "script", 0, 0, "wordlcs", false); err == nil {
 		t.Fatal("expected error for bad JSON")
 	}
 }

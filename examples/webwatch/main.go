@@ -9,11 +9,23 @@
 // a diff-aware web browser (§9).
 //
 // Run with: go run ./examples/webwatch
+//
+// With -server URL the diffs are computed by a running ladiffd instead
+// of in-process — the same watcher as a thin client of the diff
+// service:
+//
+//	go run ./cmd/ladiffd -addr :8044 &
+//	go run ./examples/webwatch -server http://localhost:8044
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 
 	"ladiff"
 )
@@ -43,6 +55,9 @@ var visits = []string{
 }
 
 func main() {
+	serverURL := flag.String("server", "", "base URL of a running ladiffd; empty diffs in-process")
+	flag.Parse()
+
 	// Active rules (§9): fire on specific kinds of change in specific
 	// parts of the page — here, anything new or edited under any
 	// section, plus a dedicated alert for storm-section changes.
@@ -58,32 +73,83 @@ func main() {
 	must(rules.On("breaking", "**/sentence[ins]", alert))
 	must(rules.On("corrections", "**/sentence[upd]", alert))
 
-	prev, err := ladiff.ParseHTML(visits[0])
-	if err != nil {
-		log.Fatal(err)
-	}
 	for visit := 1; visit < len(visits); visit++ {
-		cur, err := ladiff.ParseHTML(visits[visit])
-		if err != nil {
-			log.Fatal(err)
+		var (
+			dt  *ladiff.DeltaTree
+			ops int
+			err error
+		)
+		if *serverURL != "" {
+			dt, ops, err = diffViaServer(*serverURL, visits[visit-1], visits[visit])
+		} else {
+			dt, ops, err = diffInProcess(visits[visit-1], visits[visit])
 		}
-		res, err := ladiff.Diff(prev, cur, ladiff.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("== Visit %d: changes since last visit ==\n", visit+1)
-		if len(res.Script) == 0 {
+		if ops == 0 {
 			fmt.Println("   (no changes)")
-		}
-		dt, err := ladiff.BuildDelta(res)
-		if err != nil {
-			log.Fatal(err)
 		}
 		digest(dt.Root)
 		fired := rules.Apply(dt)
 		fmt.Printf("   rules fired: %s\n\n", deltaSummary(fired))
-		prev = cur
 	}
+}
+
+// diffInProcess runs the pipeline locally, as the original example did.
+func diffInProcess(oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
+	oldT, err := ladiff.ParseHTML(oldSrc)
+	if err != nil {
+		return nil, 0, err
+	}
+	newT, err := ladiff.ParseHTML(newSrc)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	dt, err := ladiff.BuildDelta(res)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dt, len(res.Script), nil
+}
+
+// diffViaServer posts the pair to a running ladiffd and decodes the
+// delta-tree wire format from the response — what an external watcher
+// (no Go dependency on this module) would do.
+func diffViaServer(base, oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
+	reqBody, err := json.Marshal(map[string]string{
+		"old": oldSrc, "new": newSrc, "format": "html", "output": "delta",
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(base+"/v1/diff", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("ladiffd: status %d: %s", resp.StatusCode, body)
+	}
+	var diffResp struct {
+		Delta ladiff.DeltaTree `json:"delta"`
+		Stats struct {
+			Ops int `json:"ops"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &diffResp); err != nil {
+		return nil, 0, fmt.Errorf("decoding ladiffd response: %w", err)
+	}
+	return &diffResp.Delta, diffResp.Stats.Ops, nil
 }
 
 func deltaSummary(fired map[string]int) string {

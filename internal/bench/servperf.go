@@ -1,0 +1,236 @@
+// Serving-path performance evidence: the closed-loop load generator
+// behind the BENCH_serving.json artifact. It drives an in-process
+// ladiffd service (the real HTTP handler stack — admission control,
+// pooling, metrics — over a loopback listener) with a mixed workload of
+// document classes from internal/gen and reports per-class throughput
+// and client-observed latency quantiles.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ladiff/internal/gen"
+	"ladiff/internal/server"
+	"ladiff/internal/textdoc"
+)
+
+// ServingClass is one workload class: a fixed old/new document pair
+// posted repeatedly, weighted by Share of the total request budget.
+type ServingClass struct {
+	Name   string
+	Params gen.DocParams
+	// Ops is the perturbation count separating old from new.
+	Ops int
+	// Share scales the per-class request count relative to the base
+	// budget (1.0 = the full budget).
+	Share float64
+}
+
+// ServingClasses is the standard mixed workload: the tiny class is the
+// latency/throughput floor the serving layer is sized for (the paper's
+// interactive change-monitoring scenario), the others show how the
+// closed loop degrades as documents grow.
+func ServingClasses() []ServingClass {
+	return []ServingClass{
+		{Name: "tiny", Ops: 3, Share: 1.0,
+			Params: gen.DocParams{Seed: 404, Sections: 1, MinParagraphs: 2, MaxParagraphs: 2, MinSentences: 2, MaxSentences: 3, Vocabulary: 500}},
+		{Name: "small", Ops: 8, Share: 0.5,
+			Params: Sets()[0].Params},
+		{Name: "medium", Ops: 16, Share: 0.1,
+			Params: Sets()[1].Params},
+	}
+}
+
+// ServingClassResult is the measurement for one class.
+type ServingClassResult struct {
+	Class    string `json:"class"`
+	OldNodes int    `json:"old_nodes"`
+	NewNodes int    `json:"new_nodes"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// Seconds is the wall time of the class's closed-loop run.
+	Seconds float64 `json:"seconds"`
+	// ThroughputRPS is completed requests per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Client-observed end-to-end latency quantiles.
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	MeanUS int64 `json:"mean_us"`
+}
+
+// ServingPerfReport is the full BENCH_serving.json payload.
+type ServingPerfReport struct {
+	Benchmark  string               `json:"benchmark"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Workers    int                  `json:"workers"`
+	Classes    []ServingClassResult `json:"classes"`
+	// Server is the service's own metrics scrape after the run — the
+	// server-side phase histograms complementing the client-side
+	// latencies above.
+	Server server.MetricsSnapshot `json:"server"`
+}
+
+// CollectServingPerf stands up the full serving stack on a loopback
+// listener and runs the closed-loop load generator against it: workers
+// concurrent connections, each posting diff requests back-to-back,
+// baseRequests requests for a Share-1.0 class. Zero arguments pick
+// defaults sized for a meaningful steady state (8 workers, 3000 base
+// requests).
+func CollectServingPerf(workers, baseRequests int) (*ServingPerfReport, error) {
+	if workers <= 0 {
+		workers = 8
+	}
+	if baseRequests <= 0 {
+		baseRequests = 3000
+	}
+
+	srv := server.New(server.Config{
+		// The queue must absorb every worker: the closed loop measures
+		// service latency, not load shedding.
+		MaxQueue: workers * 2,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: workers}
+
+	report := &ServingPerfReport{
+		Benchmark:  "CollectServingPerf",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+	for _, class := range ServingClasses() {
+		res, err := runServingClass(ts.URL, client, class, workers, int(float64(baseRequests)*class.Share))
+		if err != nil {
+			return nil, fmt.Errorf("bench: servperf %s: %w", class.Name, err)
+		}
+		report.Classes = append(report.Classes, res)
+	}
+	report.Server = srv.Metrics().Snapshot()
+	return report, nil
+}
+
+// runServingClass drives one class's closed loop and aggregates the
+// per-request latencies.
+func runServingClass(url string, client *http.Client, class ServingClass, workers, requests int) (ServingClassResult, error) {
+	if requests < workers {
+		requests = workers
+	}
+	doc := gen.Document(class.Params)
+	pert, err := gen.Perturb(doc, gen.Mix(int64(class.Ops)*7+1, class.Ops))
+	if err != nil {
+		return ServingClassResult{}, err
+	}
+	body, err := json.Marshal(server.DiffRequest{
+		Old:    textdoc.Render(doc),
+		New:    textdoc.Render(pert.New),
+		Format: "text",
+	})
+	if err != nil {
+		return ServingClassResult{}, err
+	}
+
+	res := ServingClassResult{
+		Class:    class.Name,
+		OldNodes: doc.Len(),
+		NewNodes: pert.New.Len(),
+		Requests: requests,
+	}
+
+	var (
+		next    atomic.Int64 // requests issued so far
+		errs    atomic.Int64
+		wg      sync.WaitGroup
+		latMu   sync.Mutex
+		latency []int64 // µs, merged per worker under latMu
+	)
+	// Warm-up: one request outside the timed window primes the pools,
+	// the connection cache, and the tree indexes.
+	if status, err := postServingRequest(client, url, body); err != nil || status != http.StatusOK {
+		return res, fmt.Errorf("warm-up request failed: status %d, err %v", status, err)
+	}
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, requests/workers+1)
+			for next.Add(1) <= int64(requests) {
+				t0 := time.Now()
+				status, err := postServingRequest(client, url, body)
+				local = append(local, time.Since(t0).Microseconds())
+				if err != nil || status != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+			latMu.Lock()
+			latency = append(latency, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Errors = int(errs.Load())
+	res.Seconds = elapsed.Seconds()
+	if res.Seconds > 0 {
+		res.ThroughputRPS = float64(requests) / res.Seconds
+	}
+	sort.Slice(latency, func(i, j int) bool { return latency[i] < latency[j] })
+	res.P50US = latencyQuantile(latency, 0.50)
+	res.P95US = latencyQuantile(latency, 0.95)
+	res.P99US = latencyQuantile(latency, 0.99)
+	var sum int64
+	for _, l := range latency {
+		sum += l
+	}
+	if len(latency) > 0 {
+		res.MeanUS = sum / int64(len(latency))
+	}
+	return res, nil
+}
+
+func postServingRequest(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url+"/v1/diff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reusable.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// latencyQuantile reads the q-quantile from an ascending-sorted slice
+// of latencies.
+func latencyQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// WriteServingPerf writes the report as indented JSON to path.
+func (r *ServingPerfReport) WriteServingPerf(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

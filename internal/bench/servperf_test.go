@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// TestCollectServingPerfSmoke runs a miniature closed loop through the
+// full serving stack and sanity-checks the report shape. The real
+// measurement (8 workers, thousands of requests) runs via
+// cmd/experiments -run servperf.
+func TestCollectServingPerfSmoke(t *testing.T) {
+	report, err := CollectServingPerf(2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Classes) != len(ServingClasses()) {
+		t.Fatalf("got %d classes, want %d", len(report.Classes), len(ServingClasses()))
+	}
+	for _, c := range report.Classes {
+		if c.Errors != 0 {
+			t.Errorf("class %s: %d request errors", c.Class, c.Errors)
+		}
+		if c.Requests == 0 || c.ThroughputRPS <= 0 {
+			t.Errorf("class %s: empty measurement: %+v", c.Class, c)
+		}
+		if c.P50US == 0 || c.P99US < c.P50US {
+			t.Errorf("class %s: implausible quantiles p50=%d p99=%d", c.Class, c.P50US, c.P99US)
+		}
+		if c.OldNodes == 0 || c.NewNodes == 0 {
+			t.Errorf("class %s: zero node counts", c.Class)
+		}
+	}
+	// The tiny class must be strictly cheaper than the medium class —
+	// the size ordering the workload mix is built around.
+	tiny, medium := report.Classes[0], report.Classes[2]
+	if tiny.OldNodes >= medium.OldNodes {
+		t.Errorf("tiny class (%d nodes) not smaller than medium (%d nodes)", tiny.OldNodes, medium.OldNodes)
+	}
+	if report.Server.DiffsTotal == 0 {
+		t.Error("server-side metrics recorded no diffs")
+	}
+	if report.Server.PhaseUS["match"].Count == 0 {
+		t.Error("server-side match phase histogram is empty")
+	}
+}

@@ -1,0 +1,50 @@
+// Package cli holds shared plumbing for the ladiff command-line tools:
+// the exit-code contract and the error classification behind it, so
+// scripts driving ladiff/treediff can tell a bad invocation from a bad
+// input from a pipeline failure without parsing stderr.
+package cli
+
+import "errors"
+
+// Process exit codes. 0 is success and 1 an unclassified failure.
+const (
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+	// ExitParse: an input document failed to load or parse.
+	ExitParse = 3
+	// ExitDiff: the diff pipeline itself failed (invalid thresholds,
+	// matching or generation errors).
+	ExitDiff = 4
+)
+
+// codedError attaches an exit code to an error while preserving the
+// wrapped chain for errors.Is/As.
+type codedError struct {
+	code int
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// UsageError marks err as a bad invocation (exit 2).
+func UsageError(err error) error { return &codedError{ExitUsage, err} }
+
+// ParseError marks err as an input load/parse failure (exit 3).
+func ParseError(err error) error { return &codedError{ExitParse, err} }
+
+// DiffError marks err as a diff-pipeline failure (exit 4).
+func DiffError(err error) error { return &codedError{ExitDiff, err} }
+
+// ExitCode maps a run() error to the process exit code: nil → 0,
+// classified errors → their code, anything else → 1.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return 1
+}

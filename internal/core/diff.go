@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ladiff/internal/edit"
@@ -45,12 +46,29 @@ type Options struct {
 	// Gen configures the edit-script generator; the zero value selects
 	// the indexed FindPos path.
 	Gen GenOptions
+	// Ctx, when non-nil, bounds the whole pipeline: matching and
+	// generation poll it periodically and the run aborts with ctx.Err()
+	// wrapped once it is cancelled or past its deadline. It is copied
+	// into Match.Ctx and Gen.Ctx unless those are already set, so a
+	// caller can also bound one phase independently.
+	Ctx context.Context
 }
 
 // Diff runs the full change-detection pipeline of the paper on old and
 // new: Good Matching (§5), optional post-processing (§8), then Algorithm
 // EditScript (§4). Neither input tree is modified.
 func Diff(old, new *tree.Tree, opts Options) (*Result, error) {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: diff cancelled: %w", err)
+		}
+		if opts.Match.Ctx == nil {
+			opts.Match.Ctx = opts.Ctx
+		}
+		if opts.Gen.Ctx == nil {
+			opts.Gen.Ctx = opts.Ctx
+		}
+	}
 	var (
 		m   *match.Matching
 		err error
@@ -74,6 +92,19 @@ func Diff(old, new *tree.Tree, opts Options) (*Result, error) {
 		}
 	}
 	return EditScriptWith(old, new, m, opts.Gen)
+}
+
+// DiffContext is Diff bounded by ctx: the pipeline polls the context
+// periodically inside the matching rank loops and the generation scans,
+// so a cancelled or expired request stops burning CPU promptly instead
+// of running to completion. The returned error wraps ctx.Err(), so
+// errors.Is(err, context.DeadlineExceeded) (or Canceled) identifies the
+// abort. A nil ctx behaves like Diff.
+func DiffContext(ctx context.Context, old, new *tree.Tree, opts Options) (*Result, error) {
+	if ctx != nil {
+		opts.Ctx = ctx
+	}
+	return Diff(old, new, opts)
 }
 
 // zsMatching builds a matching from an optimal Zhang–Shasha mapping

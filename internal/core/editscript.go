@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -152,7 +153,18 @@ type GenOptions struct {
 	// pin this); only Effective* counters and wall-clock time differ.
 	// Useful as a differential oracle and for paper-faithful tracing.
 	DisableIndex bool
+	// Ctx, when non-nil, bounds the generation run: the breadth-first
+	// and post-order scans poll it every ctxPollStride visits and abort
+	// with ctx.Err() wrapped once it is cancelled or past its deadline.
+	// Cancellation never yields a partial result.
+	Ctx context.Context
 }
+
+// ctxPollStride is how many scan visits elapse between context polls in
+// the generator's loops; each visit does real work (alignment, index
+// maintenance), so polling every 64th keeps cancellation latency low
+// without measurable cost on the uncancelled path.
+const ctxPollStride = 64
 
 // EditScript runs Algorithm EditScript (Figure 8): it computes a
 // minimum-cost edit script that conforms to the matching m and transforms
@@ -168,6 +180,11 @@ func EditScript(t1, t2 *tree.Tree, m *match.Matching) (*Result, error) {
 func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Result, error) {
 	if t1 == nil || t2 == nil || t1.Root() == nil || t2.Root() == nil {
 		return nil, errors.New("core: EditScript requires two non-empty trees")
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: edit-script generation cancelled: %w", err)
+		}
 	}
 	if m == nil {
 		m = match.NewMatching()
@@ -259,6 +276,9 @@ func (g *generator) run() error {
 	// of the new tree (Figure 8 step 2).
 	for _, x := range g.new.BreadthFirst() {
 		g.result.Work.Visits++
+		if err := g.pollCtx(); err != nil {
+			return err
+		}
 		var w *tree.Node // partner of x in the working tree
 		wID, matched := g.mm.ToOld(x.ID())
 		switch {
@@ -347,12 +367,27 @@ func (g *generator) run() error {
 	// leaf by the time its DEL is emitted.
 	for _, w := range g.work.PostOrder() {
 		g.result.Work.Visits++
+		if err := g.pollCtx(); err != nil {
+			return err
+		}
 		if !g.mm.MatchedOld(w.ID()) {
 			if err := g.emit(edit.Del(w.ID())); err != nil {
 				return err
 			}
 			g.result.DeletedOld[w.ID()] = true
 		}
+	}
+	return nil
+}
+
+// pollCtx consults GenOptions.Ctx every ctxPollStride scan visits and
+// returns its error (wrapped) once the run is cancelled.
+func (g *generator) pollCtx() error {
+	if g.opts.Ctx == nil || g.result.Work.Visits%ctxPollStride != 0 {
+		return nil
+	}
+	if err := g.opts.Ctx.Err(); err != nil {
+		return fmt.Errorf("core: edit-script generation cancelled: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,123 @@
+package delta_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/delta"
+	"ladiff/internal/gen"
+)
+
+// roundTripClasses spans the generator's workload spectrum: document
+// size crossed with perturbation intensity, so the wire format is
+// exercised on every annotation kind — identities, updates, inserts,
+// delete tombstones, and (via the Mix rotation) plenty of move pairs.
+var roundTripClasses = []struct {
+	name   string
+	params gen.DocParams
+	ops    int
+}{
+	{"tiny-light", gen.DocParams{Seed: 1, Sections: 1, MinParagraphs: 2, MaxParagraphs: 3, MinSentences: 2, MaxSentences: 4, Vocabulary: 600}, 4},
+	{"small-moderate", gen.DocParams{Seed: 2, Sections: 4, MinParagraphs: 3, MaxParagraphs: 5, MinSentences: 4, MaxSentences: 8, Vocabulary: 3000}, 16},
+	{"medium-heavy", gen.DocParams{Seed: 3, Sections: 8, MinParagraphs: 4, MaxParagraphs: 7, MinSentences: 5, MaxSentences: 9, Vocabulary: 4000}, 48},
+	{"large-churn", gen.DocParams{Seed: 4, Sections: 16, MinParagraphs: 5, MaxParagraphs: 9, MinSentences: 6, MaxSentences: 10, Vocabulary: 6000}, 96},
+}
+
+// TestJSONRoundTripGenerated pins the delta wire format on realistic
+// workloads (the small fixture case lives in query_test.go): Build →
+// Marshal → Unmarshal must reproduce the tree exactly — every
+// annotation, value, and move pairing — and re-marshalling the decoded
+// tree must emit identical bytes.
+func TestJSONRoundTripGenerated(t *testing.T) {
+	sawMoves := false
+	for _, class := range roundTripClasses {
+		t.Run(class.name, func(t *testing.T) {
+			doc := gen.Document(class.params)
+			pert, err := gen.Perturb(doc, gen.Mix(int64(class.ops), class.ops))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Diff(doc, pert.New, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt, err := delta.Build(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dt.Moves > 0 {
+				sawMoves = true
+			}
+
+			data, err := json.Marshal(dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back delta.Tree
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("decoding marshalled delta: %v", err)
+			}
+			if back.Moves != dt.Moves {
+				t.Errorf("moves = %d after round trip, want %d", back.Moves, dt.Moves)
+			}
+			if err := equalDeltaNodes(dt.Root, back.Root, "root"); err != nil {
+				t.Error(err)
+			}
+			data2, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, data2) {
+				t.Error("re-marshalling the decoded delta changed the bytes")
+			}
+		})
+	}
+	if !sawMoves {
+		t.Error("no workload class produced a move pair; the moveRef relink path went untested")
+	}
+}
+
+// equalDeltaNodes checks structural equality of two delta nodes,
+// including the unexported source→dest relink behind Dest().
+func equalDeltaNodes(a, b *delta.Node, path string) error {
+	if a.Kind != b.Kind {
+		return fmt.Errorf("%s: kind %v != %v", path, a.Kind, b.Kind)
+	}
+	if a.Label != b.Label {
+		return fmt.Errorf("%s: label %q != %q", path, a.Label, b.Label)
+	}
+	if a.Value != b.Value {
+		return fmt.Errorf("%s: value %q != %q", path, a.Value, b.Value)
+	}
+	if a.OldValue != b.OldValue {
+		return fmt.Errorf("%s: oldValue %q != %q", path, a.OldValue, b.OldValue)
+	}
+	if a.MoveRef != b.MoveRef {
+		return fmt.Errorf("%s: moveRef %d != %d", path, a.MoveRef, b.MoveRef)
+	}
+	if a.Kind == delta.MoveSource {
+		ad, bd := a.Dest(), b.Dest()
+		if ad == nil || bd == nil {
+			return fmt.Errorf("%s: move source ref %d lost its destination link (orig=%v decoded=%v)",
+				path, a.MoveRef, ad != nil, bd != nil)
+		}
+		if ad.MoveRef != a.MoveRef || bd.MoveRef != b.MoveRef {
+			return fmt.Errorf("%s: destination link points at ref %d/%d, want %d", path, ad.MoveRef, bd.MoveRef, a.MoveRef)
+		}
+		if bd.Kind != delta.MoveDest {
+			return fmt.Errorf("%s: decoded destination has kind %v, want MoveDest", path, bd.Kind)
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Errorf("%s: %d children != %d", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		if err := equalDeltaNodes(a.Children[i], b.Children[i], fmt.Sprintf("%s/%s[%d]", path, a.Children[i].Label, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

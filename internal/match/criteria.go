@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -75,6 +76,13 @@ type Options struct {
 	// r1/r2 counters are identical either way; the knob exists so tests
 	// and benchmarks can verify and measure exactly that.
 	DisableMemo bool
+	// Ctx, when non-nil, bounds the run: the matchers poll it between
+	// label rounds and periodically inside the pairing loops (every
+	// ctxPollStride equality evaluations), and return ctx.Err() wrapped
+	// once it is cancelled or past its deadline. Nil means no deadline —
+	// the run always completes. Cancellation aborts the run; it never
+	// yields a partial matching.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -207,6 +215,61 @@ type matcher struct {
 	// leafEpoch counts leaf-pair additions and removals; bumping it
 	// invalidates internalMemo wholesale.
 	leafEpoch int64
+	// ctxPolls counts equality evaluations since the run started; every
+	// ctxPollStride-th one consults Options.Ctx. err latches the first
+	// cancellation observed and makes all later equality checks refuse
+	// immediately, so the enclosing loops unwind fast.
+	ctxPolls int64
+	err      error
+}
+
+// ctxPollStride is how many equality evaluations elapse between context
+// polls inside the pairing loops. Each evaluation already does real work
+// (a word-LCS bound or a leaf-span walk), so a poll every 64 keeps the
+// cancellation latency far below a millisecond without measurable
+// overhead on the uncancelled path.
+const ctxPollStride = 64
+
+// cancelled reports whether the run's context has been cancelled,
+// polling the context only every ctxPollStride calls. Once cancelled it
+// stays cancelled (mr.err latches).
+func (mr *matcher) cancelled() bool {
+	if mr.err != nil {
+		return true
+	}
+	if mr.opts.Ctx == nil {
+		return false
+	}
+	mr.ctxPolls++
+	if mr.ctxPolls%ctxPollStride != 0 {
+		return false
+	}
+	return mr.checkCtxNow()
+}
+
+// checkCtxNow consults the context unconditionally (used at round
+// boundaries, where a check is cheap relative to the round).
+func (mr *matcher) checkCtxNow() bool {
+	if mr.err != nil {
+		return true
+	}
+	if mr.opts.Ctx == nil {
+		return false
+	}
+	if err := mr.opts.Ctx.Err(); err != nil {
+		mr.err = err
+		return true
+	}
+	return false
+}
+
+// runErr converts a latched cancellation into the error the public
+// matchers return.
+func (mr *matcher) runErr() error {
+	if mr.err == nil {
+		return nil
+	}
+	return fmt.Errorf("match: cancelled: %w", mr.err)
 }
 
 func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
@@ -405,8 +468,13 @@ func (mr *matcher) common(x, y *tree.Node) (count int, charged int64) {
 
 // equal dispatches to the leaf or internal rule depending on the nodes'
 // structural kind. Mixed pairs (a leaf against an internal node) never
-// match: a value cannot be compared against descendants.
+// match: a value cannot be compared against descendants. A cancelled
+// run refuses every pair, which empties the remaining loops quickly;
+// the latched error then aborts the run at the next round boundary.
 func (mr *matcher) equal(x, y *tree.Node) bool {
+	if mr.cancelled() {
+		return false
+	}
 	switch {
 	case x.IsLeaf() && y.IsLeaf():
 		return mr.equalLeaves(x, y)

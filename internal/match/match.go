@@ -28,6 +28,9 @@ func Match(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
 		}
 	}
 	mr.rounds((*matcher).matchLabelQuadratic)
+	if err := mr.runErr(); err != nil {
+		return nil, err
+	}
 	return mr.m, nil
 }
 
@@ -40,6 +43,9 @@ func (mr *matcher) matchLabelQuadratic(label tree.Label) {
 // nodes of s2 as in Algorithm Match: first equal candidate wins.
 func (mr *matcher) matchChainsQuadratic(s1, s2 []*tree.Node) {
 	for _, x := range s1 {
+		if mr.err != nil {
+			return
+		}
 		if mr.matchedOld(x.ID()) {
 			continue
 		}
@@ -79,6 +85,9 @@ func FastMatch(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
 		}
 	}
 	mr.rounds((*matcher).matchLabelFast)
+	if err := mr.runErr(); err != nil {
+		return nil, err
+	}
 	return mr.m, nil
 }
 
@@ -137,6 +146,9 @@ func PostProcess(t1, t2 *tree.Tree, m *Matching, opts Options) (int, error) {
 		return m.Has(oldNode.Parent().ID(), cc.Parent().ID())
 	}
 	for _, x := range t1.BreadthFirst() {
+		if mr.checkCtxNow() {
+			return rewritten, mr.runErr()
+		}
 		yID, ok := m.ToNew(x.ID())
 		if !ok {
 			continue

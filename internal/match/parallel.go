@@ -28,11 +28,20 @@ import (
 
 // rounds processes every label of both trees in bottom-up rank order,
 // applying process to each label. Rank groups that are independent are
-// fanned out over a worker pool bounded by Options.Parallelism.
+// fanned out over a worker pool bounded by Options.Parallelism. A
+// cancelled context (Options.Ctx) stops the schedule at the next label
+// boundary; the in-flight rounds unwind through the refusing equality
+// checks.
 func (mr *matcher) rounds(process func(*matcher, tree.Label)) {
 	for _, group := range labelRankGroups(mr.t1, mr.t2) {
+		if mr.checkCtxNow() {
+			return
+		}
 		if mr.opts.Parallelism <= 1 || len(group) < 2 || !mr.groupIndependent(group) {
 			for _, label := range group {
+				if mr.checkCtxNow() {
+					return
+				}
 				process(mr, label)
 			}
 			continue
@@ -88,8 +97,12 @@ func (mr *matcher) fork() *matcher {
 // absorb merges a completed worker's overlay pairs and stats into the
 // parent. Pairs() iterates in ascending old-ID (document) order, and the
 // workers' label node sets are disjoint, so the merge is deterministic
-// and conflict-free.
+// and conflict-free. A worker that observed cancellation propagates it;
+// the merged pairs are then discarded with the run.
 func (mr *matcher) absorb(sub *matcher) {
+	if sub.err != nil && mr.err == nil {
+		mr.err = sub.err
+	}
 	for _, p := range sub.local.Pairs() {
 		mr.add(mr.t1.Node(p.Old), mr.t2.Node(p.New))
 	}

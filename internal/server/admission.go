@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull reports that a request found every execution slot busy
+// and the wait queue at capacity — the load-shedding signal handlers
+// turn into 429 + Retry-After.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admission is a semaphore with a bounded wait queue: at most `cap
+// slots` requests execute concurrently, at most maxQueue more wait for
+// a slot, and everything beyond that is rejected immediately. Bounding
+// the queue keeps latency honest under overload — a request that cannot
+// start soon is told to back off now rather than time out later (the
+// RTED lesson: worst-case inputs must not silently pile up behind the
+// common case).
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   *atomic.Int64 // shared with Metrics.Queued
+}
+
+func newAdmission(maxConcurrent, maxQueue int, queued *atomic.Int64) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		queued:   queued,
+	}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue if
+// necessary. It returns errQueueFull when the queue is at capacity and
+// ctx.Err() when the caller's context ends while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees an execution slot.
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ladiff"
+)
+
+// Formats is the list of parser front ends /v1/diff and /v1/patch
+// accept. "json" diffs arbitrary JSON documents structurally (jsondoc);
+// "tree" is the generic indented wire format of (*Tree).String, the
+// domain-agnostic entry for object hierarchies and database dumps.
+var Formats = []string{"latex", "html", "text", "xml", "json", "tree"}
+
+// Outputs is the list of render back ends /v1/diff supports: the raw
+// edit-script operations, the delta-tree JSON of internal/delta (the
+// one wire format shared with the -json CLI flag), or a marked-up
+// document in the input format's own markup conventions.
+var Outputs = []string{"script", "delta", "marked"}
+
+// parseDoc parses src in the named format into a document tree.
+func parseDoc(format, src string) (*ladiff.Tree, error) {
+	switch format {
+	case "latex":
+		return ladiff.ParseLatex(src)
+	case "html":
+		return ladiff.ParseHTML(src)
+	case "text":
+		return ladiff.ParseText(src), nil
+	case "xml":
+		return ladiff.ParseXML(src)
+	case "json":
+		return ladiff.ParseJSON(src)
+	case "tree":
+		return ladiff.ParseTree(src)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want one of %v)", format, Formats)
+	}
+}
+
+// renderDoc renders a document tree back into the named format, the
+// inverse of parseDoc used by /v1/patch to return patched documents.
+func renderDoc(format string, t *ladiff.Tree) (string, error) {
+	switch format {
+	case "latex":
+		return ladiff.RenderLatexPlain(t), nil
+	case "html":
+		return ladiff.RenderHTML(t), nil
+	case "text":
+		return ladiff.RenderText(t), nil
+	case "xml":
+		return ladiff.RenderXML(t), nil
+	case "json":
+		return ladiff.RenderJSON(t)
+	case "tree":
+		return t.String(), nil
+	default:
+		return "", fmt.Errorf("unknown format %q (want one of %v)", format, Formats)
+	}
+}
+
+// renderMarked renders a delta tree as a marked-up document in the
+// input format's conventions: the paper's Table 2 markup for LaTeX,
+// <ins>/<del>/<em> with move anchors for HTML, and the +/-/~ annotated
+// change report for everything else (text, xml, json, tree — formats
+// without a native markup vocabulary).
+func renderMarked(format string, dt *ladiff.DeltaTree) string {
+	switch format {
+	case "latex":
+		return ladiff.RenderLatex(dt)
+	case "html":
+		return ladiff.RenderHTMLDelta(dt)
+	default:
+		return ladiff.RenderTextDelta(dt)
+	}
+}
+
+// validFormat reports whether format names a known parser front end.
+func validFormat(format string) bool {
+	for _, f := range Formats {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// validOutput reports whether output names a known render back end.
+func validOutput(output string) bool {
+	for _, o := range Outputs {
+		if o == output {
+			return true
+		}
+	}
+	return false
+}
+
+// marshalDelta encodes a delta tree in the shared wire format.
+func marshalDelta(dt *ladiff.DeltaTree) (json.RawMessage, error) {
+	data, err := json.Marshal(dt)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(data), nil
+}

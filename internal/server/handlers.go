@@ -1,0 +1,462 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ladiff"
+)
+
+// DiffRequest is the body of POST /v1/diff.
+type DiffRequest struct {
+	// Old and New are the two document versions, as source text in
+	// Format's syntax.
+	Old string `json:"old"`
+	New string `json:"new"`
+	// Format selects the parser front end; see Formats.
+	Format string `json:"format"`
+	// Output selects the render back end; see Outputs. Empty means
+	// "script".
+	Output string `json:"output,omitempty"`
+	// LeafThreshold and InternalThreshold override the paper's f and t
+	// matching thresholds; zero keeps the defaults.
+	LeafThreshold     float64 `json:"leafThreshold,omitempty"`
+	InternalThreshold float64 `json:"internalThreshold,omitempty"`
+	// TimeoutMs bounds this request's processing time; zero means the
+	// server default, and values above the server maximum are clamped.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// DiffStats summarizes one diff for the response.
+type DiffStats struct {
+	OldNodes int     `json:"oldNodes"`
+	NewNodes int     `json:"newNodes"`
+	Matched  int     `json:"matched"`
+	Ops      int     `json:"ops"`
+	Cost     float64 `json:"cost"`
+	// PhaseMicros reports the wall time of each completed phase.
+	PhaseMicros map[string]int64 `json:"phaseMicros"`
+}
+
+// DiffResponse is the body of a successful POST /v1/diff. Exactly one
+// of Script, Delta, Document is populated, per the requested output.
+type DiffResponse struct {
+	Format   string          `json:"format"`
+	Output   string          `json:"output"`
+	Script   ladiff.Script   `json:"script,omitempty"`
+	Delta    json.RawMessage `json:"delta,omitempty"`
+	Document string          `json:"document,omitempty"`
+	Stats    DiffStats       `json:"stats"`
+}
+
+// PatchRequest is the body of POST /v1/patch: apply Script to Base
+// (invert=false), or compute and verify the inverse script
+// (invert=true).
+type PatchRequest struct {
+	Base      string        `json:"base"`
+	Format    string        `json:"format"`
+	Script    ladiff.Script `json:"script"`
+	Invert    bool          `json:"invert,omitempty"`
+	TimeoutMs int           `json:"timeoutMs,omitempty"`
+}
+
+// PatchResponse is the body of a successful POST /v1/patch. For apply,
+// Document is the patched base. For invert, Script is the inverse and
+// Document is the base after the round trip apply(script);
+// apply(inverse) — returned as proof the inverse really reverts.
+type PatchResponse struct {
+	Format   string        `json:"format"`
+	Document string        `json:"document"`
+	Script   ladiff.Script `json:"script,omitempty"`
+}
+
+// errorBody is the uniform error envelope: {"error":{"code","message"}}.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: msg}})
+}
+
+// beginRequest registers the request as in-flight unless the server is
+// draining. Holding the read lock across the WaitGroup Add means no Add
+// can race with Shutdown's Wait: once BeginDrain's write lock is
+// granted, every later request sees draining and is refused.
+func (s *Server) beginRequest() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// readJSON reads the (size-capped) body into a pooled buffer and
+// decodes it, writing the appropriate error response on failure.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	buf := getBuf()
+	defer putBuf(buf)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.met.RejectedSize.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		} else {
+			s.met.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request", "error reading request body")
+		}
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), dst); err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// admit runs the admission controller and translates its failures to
+// HTTP. On success the caller owns one slot and must call
+// s.adm.release().
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.met.RejectedQueue.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue_full",
+				"server at capacity; retry after backoff")
+		} else {
+			// The client went away while queued; the response is moot.
+			writeError(w, http.StatusServiceUnavailable, "cancelled",
+				"request cancelled while queued")
+		}
+		return false
+	}
+	return true
+}
+
+// timeout resolves a request's deadline from its TimeoutMs field and
+// the server's default/maximum.
+func (s *Server) timeout(ms int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// failPipeline writes the response for a mid-pipeline error: 504 for a
+// deadline/cancellation, 500 otherwise.
+func (s *Server) failPipeline(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.met.Timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+		return
+	}
+	s.met.Errors.Add(1)
+	writeError(w, http.StatusInternalServerError, "internal", err.Error())
+}
+
+// checkTreeSize enforces the node-count limit on a parsed document.
+func (s *Server) checkTreeSize(w http.ResponseWriter, which string, t *ladiff.Tree) bool {
+	if t.Len() > s.cfg.MaxTreeNodes {
+		s.met.RejectedSize.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, "tree_too_large",
+			fmt.Sprintf("%s document has %d nodes; limit is %d", which, t.Len(), s.cfg.MaxTreeNodes))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	var req DiffRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if !validFormat(req.Format) {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown format %q (want one of %v)", req.Format, Formats))
+		return
+	}
+	output := req.Output
+	if output == "" {
+		output = "script"
+	}
+	if !validOutput(output) {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown output %q (want one of %v)", output, Outputs))
+		return
+	}
+
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	// The deadline starts ticking at admission, before the test gate, so
+	// a gated request's context provably expires while the gate is held.
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	s.waitTestGate()
+
+	start := time.Now()
+	phaseMicros := make(map[string]int64, numPhases)
+	observe := func(p Phase, d time.Duration) {
+		s.met.PhaseLatency[p].Observe(d)
+		phaseMicros[phaseNames[p]] = d.Microseconds()
+	}
+
+	// Phase 1: parse. Parsers do not poll the context — they are linear
+	// in the input, which the body and node limits already bound.
+	t0 := time.Now()
+	oldT, err := parseDoc(req.Format, req.Old)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "parse_error", "old document: "+err.Error())
+		return
+	}
+	newT, err := parseDoc(req.Format, req.New)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "parse_error", "new document: "+err.Error())
+		return
+	}
+	observe(PhaseParse, time.Since(t0))
+	if !s.checkTreeSize(w, "old", oldT) || !s.checkTreeSize(w, "new", newT) {
+		return
+	}
+	s.met.OldNodes.Add(int64(oldT.Len()))
+	s.met.NewNodes.Add(int64(newT.Len()))
+
+	// Phase 2: match (context-bounded).
+	t0 = time.Now()
+	m, err := ladiff.FindMatching(oldT, newT, ladiff.MatchOptions{
+		Ctx:               ctx,
+		Parallelism:       s.cfg.MatchParallelism,
+		LeafThreshold:     req.LeafThreshold,
+		InternalThreshold: req.InternalThreshold,
+	})
+	if err != nil {
+		s.failPipeline(w, err)
+		return
+	}
+	observe(PhaseMatch, time.Since(t0))
+
+	// Phase 3: generate (context-bounded).
+	t0 = time.Now()
+	res, err := ladiff.ComputeEditScriptWith(oldT, newT, m, ladiff.GenOptions{Ctx: ctx})
+	if err != nil {
+		s.failPipeline(w, err)
+		return
+	}
+	observe(PhaseGenerate, time.Since(t0))
+
+	// Phase 4: render the requested output.
+	t0 = time.Now()
+	resp := DiffResponse{Format: req.Format, Output: output}
+	switch output {
+	case "script":
+		resp.Script = res.Script
+	case "delta", "marked":
+		dt, err := ladiff.BuildDelta(res)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
+			return
+		}
+		if output == "delta" {
+			raw, err := marshalDelta(dt)
+			if err != nil {
+				s.met.Errors.Add(1)
+				writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
+				return
+			}
+			resp.Delta = raw
+		} else {
+			resp.Document = renderMarked(req.Format, dt)
+		}
+	}
+	observe(PhaseRender, time.Since(t0))
+
+	resp.Stats = DiffStats{
+		OldNodes:    oldT.Len(),
+		NewNodes:    newT.Len(),
+		Matched:     m.Len(),
+		Ops:         len(res.Script),
+		Cost:        ladiff.UnitCosts().Cost(res.Script),
+		PhaseMicros: phaseMicros,
+	}
+	s.met.Diffs.Add(1)
+	s.met.RequestLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	var req PatchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if !validFormat(req.Format) {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown format %q (want one of %v)", req.Format, Formats))
+		return
+	}
+
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	// The deadline starts ticking at admission, before the test gate, so
+	// a gated request's context provably expires while the gate is held.
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	s.waitTestGate()
+
+	start := time.Now()
+
+	t0 := time.Now()
+	baseT, err := parseDoc(req.Format, req.Base)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "parse_error", "base document: "+err.Error())
+		return
+	}
+	s.met.PhaseLatency[PhaseParse].Observe(time.Since(t0))
+	if !s.checkTreeSize(w, "base", baseT) {
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		s.failPipeline(w, err)
+		return
+	}
+
+	resp := PatchResponse{Format: req.Format}
+	if req.Invert {
+		// Scripts reference node IDs of a deterministic parse of the
+		// base, and re-parsing a rendered document renumbers IDs — so
+		// the whole round trip runs server-side against this parse:
+		// invert against base, apply forward, apply the inverse, and
+		// verify we are back where we started.
+		inv, err := ladiff.InvertScript(req.Script, baseT)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "patch_error", "invert: "+err.Error())
+			return
+		}
+		patched, err := req.Script.ApplyTo(baseT)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "patch_error", "apply: "+err.Error())
+			return
+		}
+		reverted, err := inv.ApplyTo(patched)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "patch_error", "apply inverse: "+err.Error())
+			return
+		}
+		if !ladiff.Isomorphic(reverted, baseT) {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "patch_error",
+				"inverse script does not revert the base document")
+			return
+		}
+		t0 = time.Now()
+		doc, err := renderDoc(req.Format, reverted)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal", "render: "+err.Error())
+			return
+		}
+		s.met.PhaseLatency[PhaseRender].Observe(time.Since(t0))
+		resp.Script = inv
+		resp.Document = doc
+	} else {
+		patched, err := req.Script.ApplyTo(baseT)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "patch_error", "apply: "+err.Error())
+			return
+		}
+		t0 = time.Now()
+		doc, err := renderDoc(req.Format, patched)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal", "render: "+err.Error())
+			return
+		}
+		s.met.PhaseLatency[PhaseRender].Observe(time.Since(t0))
+		resp.Document = doc
+	}
+
+	s.met.Patches.Add(1)
+	s.met.RequestLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+// waitTestGate blocks until the test gate opens; a nil gate (every
+// non-test server) never blocks.
+func (s *Server) waitTestGate() {
+	if s.testGate != nil {
+		<-s.testGate
+	}
+}

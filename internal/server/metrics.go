@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Phase indexes the per-phase latency histograms: the four stages every
+// diff request passes through. Patch requests record parse and render
+// only.
+type Phase int
+
+const (
+	PhaseParse Phase = iota
+	PhaseMatch
+	PhaseGenerate
+	PhaseRender
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"parse", "match", "generate", "render"}
+
+// Metrics is the expvar-style counter set behind GET /metrics. All
+// fields are updated with atomics; a snapshot is taken per scrape.
+// Counter semantics (documented in DESIGN.md §8):
+//
+//	requests_total            every request that reached a handler
+//	diffs_total/patches_total successfully completed diff/patch requests
+//	in_flight                 requests currently holding an admission slot
+//	queued                    requests waiting for a slot right now
+//	rejected_queue_total      429s: admission queue overflow
+//	rejected_size_total       413s: body over MaxBodyBytes or tree over MaxTreeNodes
+//	rejected_draining_total   503s: arrived while draining
+//	timeouts_total            504s: per-request deadline expired mid-pipeline
+//	bad_requests_total        400s: malformed JSON, unknown format/output, parse errors
+//	errors_total              500s and 422s: pipeline or script-application failures
+//	old_nodes_total/new_nodes_total  cumulative parsed node counts (workload volume)
+//	phase_us.<phase>          latency histogram of each *completed* phase —
+//	                          a request that dies mid-phase never records it,
+//	                          which is how a deadline abort is observable here
+//	request_us                end-to-end latency histogram of accepted requests
+type Metrics struct {
+	Requests         atomic.Int64
+	Diffs            atomic.Int64
+	Patches          atomic.Int64
+	InFlight         atomic.Int64
+	Queued           atomic.Int64
+	RejectedQueue    atomic.Int64
+	RejectedSize     atomic.Int64
+	RejectedDraining atomic.Int64
+	Timeouts         atomic.Int64
+	BadRequests      atomic.Int64
+	Errors           atomic.Int64
+	OldNodes         atomic.Int64
+	NewNodes         atomic.Int64
+
+	PhaseLatency   [numPhases]Histogram
+	RequestLatency Histogram
+}
+
+// histBuckets is the number of power-of-two microsecond buckets: bucket
+// i counts observations in [2^(i-1), 2^i) µs, so the range spans 1 µs
+// to ~2⁶⁷ µs — wider than any plausible request.
+const histBuckets = 28
+
+// Histogram is a fixed-bucket log₂-scale latency histogram, safe for
+// concurrent Observe and snapshot.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	idx := bits.Len64(uint64(us)) // 0 µs → bucket 0, 1 µs → 1, 2-3 µs → 2, ...
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// Count returns the number of samples recorded so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is the wire form of one histogram: counts, sum, and
+// quantile upper bounds (each quantile reports the upper edge of the
+// bucket containing it, so estimates are conservative within 2×).
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumUS int64 `json:"sum_us"`
+	P50US int64 `json:"p50_us"`
+	P95US int64 `json:"p95_us"`
+	P99US int64 `json:"p99_us"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, SumUS: h.sumUS.Load()}
+	s.P50US = quantile(counts[:], total, 0.50)
+	s.P95US = quantile(counts[:], total, 0.95)
+	s.P99US = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound (in µs) of the bucket containing the
+// q-quantile, or 0 for an empty histogram.
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i) // upper edge of bucket i
+		}
+	}
+	return 1 << uint(len(counts))
+}
+
+// MetricsSnapshot is the JSON document GET /metrics serves.
+type MetricsSnapshot struct {
+	RequestsTotal         int64                        `json:"requests_total"`
+	DiffsTotal            int64                        `json:"diffs_total"`
+	PatchesTotal          int64                        `json:"patches_total"`
+	InFlight              int64                        `json:"in_flight"`
+	Queued                int64                        `json:"queued"`
+	RejectedQueueTotal    int64                        `json:"rejected_queue_total"`
+	RejectedSizeTotal     int64                        `json:"rejected_size_total"`
+	RejectedDrainingTotal int64                        `json:"rejected_draining_total"`
+	TimeoutsTotal         int64                        `json:"timeouts_total"`
+	BadRequestsTotal      int64                        `json:"bad_requests_total"`
+	ErrorsTotal           int64                        `json:"errors_total"`
+	OldNodesTotal         int64                        `json:"old_nodes_total"`
+	NewNodesTotal         int64                        `json:"new_nodes_total"`
+	PhaseUS               map[string]HistogramSnapshot `json:"phase_us"`
+	RequestUS             HistogramSnapshot            `json:"request_us"`
+}
+
+// Snapshot captures every counter at one instant (counters are read
+// individually; the snapshot is not a single atomic cut, which is fine
+// for monitoring).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		RequestsTotal:         m.Requests.Load(),
+		DiffsTotal:            m.Diffs.Load(),
+		PatchesTotal:          m.Patches.Load(),
+		InFlight:              m.InFlight.Load(),
+		Queued:                m.Queued.Load(),
+		RejectedQueueTotal:    m.RejectedQueue.Load(),
+		RejectedSizeTotal:     m.RejectedSize.Load(),
+		RejectedDrainingTotal: m.RejectedDraining.Load(),
+		TimeoutsTotal:         m.Timeouts.Load(),
+		BadRequestsTotal:      m.BadRequests.Load(),
+		ErrorsTotal:           m.Errors.Load(),
+		OldNodesTotal:         m.OldNodes.Load(),
+		NewNodesTotal:         m.NewNodes.Load(),
+		PhaseUS:               make(map[string]HistogramSnapshot, numPhases),
+		RequestUS:             m.RequestLatency.Snapshot(),
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		s.PhaseUS[phaseNames[p]] = m.PhaseLatency[p].Snapshot()
+	}
+	return s
+}
+
+// MarshalJSON serves the snapshot, so a *Metrics can be encoded
+// directly.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}

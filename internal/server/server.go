@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config tunes one Server. The zero value is usable: every field has a
+// production-minded default applied by New.
+type Config struct {
+	// MaxConcurrent bounds the number of diffs/patches executing at
+	// once. 0 means GOMAXPROCS — a diff is CPU-bound, so more workers
+	// than cores only adds contention.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a slot before the
+	// server sheds load with 429. 0 means 64.
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline applied when the
+	// request does not ask for one. 0 means 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. 0 means 30s.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body; larger bodies get 413.
+	// 0 means 8 MiB.
+	MaxBodyBytes int64
+	// MaxTreeNodes caps the parsed size of either input document;
+	// larger trees get 413 after parsing. 0 means 200_000.
+	MaxTreeNodes int
+	// MatchParallelism is MatchOptions.Parallelism for every request.
+	// 0 means 1: under concurrent load, parallelism across requests
+	// beats parallelism within one.
+	MatchParallelism int
+	// Logger receives structured access logs. Nil means slog.Default.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxTreeNodes <= 0 {
+		c.MaxTreeNodes = 200_000
+	}
+	if c.MatchParallelism <= 0 {
+		c.MatchParallelism = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the diff-serving subsystem: HTTP handlers plus the shared
+// machinery under them — admission control, metrics, buffer pooling,
+// and drain state. Construct with New, mount Handler (and optionally
+// DebugHandler) on listeners, and call Shutdown to drain.
+type Server struct {
+	cfg Config
+	adm *admission
+	met *Metrics
+	log *slog.Logger
+
+	// draining flips once at shutdown: new work is refused with 503
+	// while requests already in flight run to completion. It is guarded
+	// by mu (not an atomic) so the inflight Add in beginRequest cannot
+	// race with Shutdown's Wait.
+	mu       sync.RWMutex
+	draining bool
+	// inflight counts admitted requests so Shutdown can wait for them.
+	inflight sync.WaitGroup
+
+	// testGate, when non-nil, blocks every handler after admission
+	// until the channel is closed — a deterministic hook for the
+	// overload and drain tests (same package only).
+	testGate chan struct{}
+}
+
+// New returns a Server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, met: &Metrics{}, log: cfg.Logger}
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, &s.met.Queued)
+	return s
+}
+
+// Metrics exposes the server's counter set (used by tests and by
+// embedders that scrape programmatically).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Handler returns the service mux: the v1 API plus health and metrics,
+// wrapped in the access-log middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	mux.HandleFunc("POST /v1/patch", s.handlePatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.accessLog(mux)
+}
+
+// DebugHandler returns the debug mux (net/http/pprof), meant for a
+// separate loopback-only listener.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// BeginDrain flips the server into draining mode: /healthz starts
+// failing (so load balancers stop routing here) and new API requests
+// are refused with 503, while admitted requests run to completion.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server gracefully: it begins draining, then
+// waits until every in-flight request has finished or ctx ends,
+// returning ctx.Err() in the latter case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusRecorder captures the status code a handler wrote so the
+// access log can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// accessLog wraps next with a structured per-request log line.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_us", time.Since(start).Microseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// bufPool recycles body-read buffers across requests so steady-state
+// serving allocates no per-request read buffer.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	// Don't pool pathological buffers: a single huge request must not
+	// pin its allocation forever.
+	if b.Cap() > 1<<20 {
+		return
+	}
+	bufPool.Put(b)
+}

@@ -1,6 +1,8 @@
 package ladiff
 
 import (
+	"context"
+
 	"ladiff/internal/compare"
 	"ladiff/internal/core"
 	"ladiff/internal/delta"
@@ -101,6 +103,16 @@ const (
 // FastMatch with the word-LCS sentence comparer and default thresholds.
 func Diff(old, new *Tree, opts Options) (*Result, error) {
 	return core.Diff(old, new, opts)
+}
+
+// DiffContext is Diff bounded by ctx: matching and edit-script
+// generation poll the context periodically (inside the label rank loops
+// and the breadth-first generation scan) and abort promptly with
+// ctx.Err() wrapped once it is cancelled or past its deadline — the
+// entry point for servers that must enforce per-request deadlines
+// without leaving a hung diff burning CPU. A nil ctx behaves like Diff.
+func DiffContext(ctx context.Context, old, new *Tree, opts Options) (*Result, error) {
+	return core.DiffContext(ctx, old, new, opts)
 }
 
 // ComputeEditScript runs Algorithm EditScript (Figure 8) directly with a

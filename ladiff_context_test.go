@@ -1,0 +1,81 @@
+package ladiff_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ladiff"
+	"ladiff/internal/gen"
+)
+
+// largePair builds a document pair big enough that a full diff takes
+// many milliseconds — large relative to the cancellation-poll stride,
+// so a prompt abort is clearly distinguishable from a completed run.
+func largePair(t *testing.T) (*ladiff.Tree, *ladiff.Tree) {
+	t.Helper()
+	doc := gen.Document(gen.DocParams{Seed: 7, Sections: 24, MinParagraphs: 5, MaxParagraphs: 8, MinSentences: 6, MaxSentences: 10, Vocabulary: 5000})
+	pert, err := gen.Perturb(doc, gen.Mix(8, 96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, pert.New
+}
+
+// TestDiffContextAlreadyCancelled pins the serving contract: a request
+// whose context is already cancelled must not run the pipeline at all —
+// it returns ctx.Err() promptly even on a pair whose full diff is
+// expensive.
+func TestDiffContextAlreadyCancelled(t *testing.T) {
+	oldT, newT := largePair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := ladiff.DiffContext(ctx, oldT, newT, ladiff.Options{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("cancelled diff returned a result: %d ops", len(res.Script))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	// A full diff of this pair takes tens of milliseconds; a prompt
+	// abort returns from the first round-boundary check.
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("cancelled diff took %v, want a prompt return", elapsed)
+	}
+}
+
+// TestDiffContextDeadlineMidFlight verifies that a deadline expiring
+// while the pipeline is running aborts it with DeadlineExceeded rather
+// than letting the request run to completion.
+func TestDiffContextDeadlineMidFlight(t *testing.T) {
+	oldT, newT := largePair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	_, err := ladiff.DiffContext(ctx, oldT, newT, ladiff.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap context.DeadlineExceeded: %v", err)
+	}
+}
+
+// TestDiffContextNilAndUncancelled pins that a nil context behaves like
+// Diff and that an open context does not perturb the result.
+func TestDiffContextNilAndUncancelled(t *testing.T) {
+	oldT, _ := ladiff.ParseTree("doc\n  s \"alpha beta gamma\"\n  s \"delta epsilon zeta\"")
+	newT, _ := ladiff.ParseTree("doc\n  s \"delta epsilon zeta\"\n  s \"alpha beta gamma\"")
+	plain, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ctx := range map[string]context.Context{"nil": nil, "open": context.Background()} {
+		res, err := ladiff.DiffContext(ctx, oldT, newT, ladiff.Options{})
+		if err != nil {
+			t.Fatalf("%s ctx: %v", name, err)
+		}
+		if res.Script.String() != plain.Script.String() {
+			t.Fatalf("%s ctx changed the script:\n  %v\nvs\n  %v", name, res.Script, plain.Script)
+		}
+	}
+}
