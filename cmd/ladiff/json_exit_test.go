@@ -10,6 +10,7 @@ import (
 
 	"ladiff"
 	"ladiff/internal/cli"
+	"ladiff/internal/fault"
 	"ladiff/internal/server"
 )
 
@@ -33,6 +34,21 @@ func TestExitCodes(t *testing.T) {
 	}
 	if err := run(oldP, newP, "", "query", 0, 0, false, -1, "", false); cli.ExitCode(err) != cli.ExitUsage {
 		t.Errorf("missing -query: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitUsage, err)
+	}
+}
+
+// TestExitInternal pins exit code 5 for internal failures: an engine
+// panic (injected here) must be contained, classified ErrInternal, and
+// distinguishable from a pipeline failure on bad input (4).
+func TestExitInternal(t *testing.T) {
+	oldP, newP := texPaths(t)
+	deactivate := fault.Activate(fault.Plan{Rules: []fault.Rule{
+		{Point: fault.Match, Mode: fault.ModePanic},
+	}})
+	defer deactivate()
+	err := run(oldP, newP, "", "summary", 0, 0, false, -1, "", false)
+	if cli.ExitCode(err) != cli.ExitInternal {
+		t.Errorf("engine panic: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitInternal, err)
 	}
 }
 

@@ -94,12 +94,12 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 		res, err = ladiff.Diff(oldT, newT, ladiff.Options{PostProcess: post, Match: mopts})
 	}
 	if err != nil {
-		return cli.DiffError(err)
+		return cli.PipelineError(err)
 	}
 	if jsonOut {
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return cli.DiffError(err)
+			return cli.PipelineError(err)
 		}
 		return json.NewEncoder(os.Stdout).Encode(dt)
 	}
@@ -111,7 +111,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 	case "delta":
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return cli.DiffError(err)
+			return cli.PipelineError(err)
 		}
 		fmt.Print(dt.String())
 		return nil
@@ -123,7 +123,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 		}
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return cli.DiffError(err)
+			return cli.PipelineError(err)
 		}
 		hits, err := ladiff.DeltaQuery(dt, query)
 		if err != nil {
@@ -136,7 +136,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 	case "marked":
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return cli.DiffError(err)
+			return cli.PipelineError(err)
 		}
 		// The markup follows the input format: LaTeX documents get the
 		// paper's Table 2 conventions, HTML gets <ins>/<del>/<em> with

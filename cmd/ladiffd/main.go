@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"ladiff/internal/fault"
 	"ladiff/internal/server"
 )
 
@@ -29,11 +30,23 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 30s)")
 	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 8MiB)")
 	maxNodes := flag.Int("max-nodes", 0, "max nodes per parsed document (0 = 200000)")
+	maxDepth := flag.Int("max-depth", 0, "max depth per parsed document (0 = 10000)")
+	matchBudget := flag.Int64("match-budget", 0, "match work budget per request in §8 work units (0 = unlimited)")
 	parallelism := flag.Int("match-parallelism", 0, "matcher parallelism per request (0 = 1; serve many requests, not one)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	faultSpec := flag.String("fault", "", "arm fault injection: point:mode[:p=P][:delay=D][:bytes=N][,...][;seed=S] (chaos testing only)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			logger.Error("bad -fault spec", "error", err)
+			os.Exit(2)
+		}
+		fault.Activate(plan)
+		logger.Warn("fault injection armed; this daemon will fail on purpose", "spec", *faultSpec)
+	}
 	cfg := server.Config{
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueue:         *maxQueue,
@@ -41,6 +54,8 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		MaxBodyBytes:     *maxBody,
 		MaxTreeNodes:     *maxNodes,
+		MaxTreeDepth:     *maxDepth,
+		MatchWorkBudget:  *matchBudget,
 		MatchParallelism: *parallelism,
 		Logger:           logger,
 	}

@@ -12,12 +12,15 @@ import (
 	"time"
 
 	"ladiff/internal/server"
+	"ladiff/internal/testleak"
 )
 
 // TestServeLifecycle boots the daemon on ephemeral ports, runs one
 // diff through it, then delivers a SIGTERM-equivalent on the stop
-// channel and verifies a clean drain.
+// channel and verifies a clean drain — including that no goroutine
+// (listener loops, in-flight handlers, drain helpers) outlives it.
 func TestServeLifecycle(t *testing.T) {
+	defer testleak.Check(t)()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	stop := make(chan os.Signal, 1)
 	ready := make(chan string, 1)

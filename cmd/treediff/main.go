@@ -75,12 +75,12 @@ func run(oldPath, newPath, format, out string, t, f float64, comparer string, js
 	opts.Match.LeafThreshold = f
 	res, err := ladiff.Diff(oldT, newT, opts)
 	if err != nil {
-		return cli.DiffError(err)
+		return cli.PipelineError(err)
 	}
 	if jsonOut {
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return cli.DiffError(err)
+			return cli.PipelineError(err)
 		}
 		return json.NewEncoder(os.Stdout).Encode(dt)
 	}
@@ -92,7 +92,7 @@ func run(oldPath, newPath, format, out string, t, f float64, comparer string, js
 	case "delta":
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
-			return cli.DiffError(err)
+			return cli.PipelineError(err)
 		}
 		fmt.Print(dt.String())
 		return nil

@@ -19,15 +19,15 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
+	"time"
 
 	"ladiff"
+	"ladiff/internal/client"
 )
 
 // Three snapshots of the same page, as a crawler might capture them.
@@ -73,14 +73,21 @@ func main() {
 	must(rules.On("breaking", "**/sentence[ins]", alert))
 	must(rules.On("corrections", "**/sentence[upd]", alert))
 
+	// One client for the whole watch: the circuit breaker's failure
+	// history only protects the server if it survives across visits.
+	var svc *client.Client
+	if *serverURL != "" {
+		svc = client.New(client.Config{BaseURL: *serverURL})
+	}
+
 	for visit := 1; visit < len(visits); visit++ {
 		var (
 			dt  *ladiff.DeltaTree
 			ops int
 			err error
 		)
-		if *serverURL != "" {
-			dt, ops, err = diffViaServer(*serverURL, visits[visit-1], visits[visit])
+		if svc != nil {
+			dt, ops, err = diffViaServer(svc, visits[visit-1], visits[visit])
 		} else {
 			dt, ops, err = diffInProcess(visits[visit-1], visits[visit])
 		}
@@ -118,38 +125,28 @@ func diffInProcess(oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
 	return dt, len(res.Script), nil
 }
 
-// diffViaServer posts the pair to a running ladiffd and decodes the
-// delta-tree wire format from the response — what an external watcher
-// (no Go dependency on this module) would do.
-func diffViaServer(base, oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
-	reqBody, err := json.Marshal(map[string]string{
-		"old": oldSrc, "new": newSrc, "format": "html", "output": "delta",
+// diffViaServer posts the pair to a running ladiffd through the
+// retrying client — a watcher polling for hours should ride out a
+// server restart or a transient 503, not die on it. The client retries
+// with backoff and jitter, honors Retry-After, and stops hammering a
+// down server once its circuit breaker opens.
+func diffViaServer(c *client.Client, oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := c.Diff(ctx, client.DiffRequest{
+		Old: oldSrc, New: newSrc, Format: "html", Output: "delta",
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := http.Post(base+"/v1/diff", "application/json", bytes.NewReader(reqBody))
-	if err != nil {
-		return nil, 0, err
+	if resp.Degraded {
+		log.Printf("webwatch: server produced a degraded diff: %v", resp.DegradedReasons)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, 0, err
+	var dt ladiff.DeltaTree
+	if err := json.Unmarshal(resp.Delta, &dt); err != nil {
+		return nil, 0, fmt.Errorf("decoding ladiffd delta: %w", err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("ladiffd: status %d: %s", resp.StatusCode, body)
-	}
-	var diffResp struct {
-		Delta ladiff.DeltaTree `json:"delta"`
-		Stats struct {
-			Ops int `json:"ops"`
-		} `json:"stats"`
-	}
-	if err := json.Unmarshal(body, &diffResp); err != nil {
-		return nil, 0, fmt.Errorf("decoding ladiffd response: %w", err)
-	}
-	return &diffResp.Delta, diffResp.Stats.Ops, nil
+	return &dt, resp.Stats.Ops, nil
 }
 
 func deltaSummary(fired map[string]int) string {

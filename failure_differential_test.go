@@ -1,0 +1,208 @@
+package ladiff_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ladiff"
+	"ladiff/internal/fault"
+	"ladiff/internal/server"
+)
+
+// failurePairs holds one old/new document pair per supported format,
+// used to pin that the failure-model machinery added to the pipeline is
+// invisible when injection is disabled and no budget is configured.
+var failurePairs = map[string][2]string{
+	"latex": {
+		"\\section{Intro}\nFirst sentence. Second sentence.\n",
+		"\\section{Intro}\nFirst sentence. A new middle one. Second sentence.\n",
+	},
+	"html": {
+		"<html><body><p>Alpha beta.</p><p>Gamma.</p></body></html>",
+		"<html><body><p>Alpha beta gamma.</p><p>Delta.</p></body></html>",
+	},
+	"text": {
+		"One two three. Four five.\n\nSecond paragraph here.",
+		"One two three. Four five six.\n\nSecond paragraph here, changed.",
+	},
+	"xml": {
+		`<doc><a x="1">hello</a><b>world</b></doc>`,
+		`<doc><a x="2">hello</a><c>world</c></doc>`,
+	},
+	"json": {
+		`{"name":"alpha","tags":["x","y"],"count":1}`,
+		`{"name":"alpha","tags":["x","z"],"count":2}`,
+	},
+	"tree": {
+		"doc\n  section\n    p \"one\"\n    p \"two\"\n",
+		"doc\n  section\n    p \"one\"\n    p \"two changed\"\n  section\n    p \"extra\"\n",
+	},
+}
+
+func parsePair(t *testing.T, format string, pair [2]string) (*ladiff.Tree, *ladiff.Tree) {
+	t.Helper()
+	parse := func(src string) (*ladiff.Tree, error) {
+		switch format {
+		case "latex":
+			return ladiff.ParseLatex(src)
+		case "html":
+			return ladiff.ParseHTML(src)
+		case "text":
+			return ladiff.ParseText(src), nil
+		case "xml":
+			return ladiff.ParseXML(src)
+		case "json":
+			return ladiff.ParseJSON(src)
+		case "tree":
+			return ladiff.ParseTree(src)
+		default:
+			t.Fatalf("unknown format %q", format)
+			return nil, nil
+		}
+	}
+	oldT, err := parse(pair[0])
+	if err != nil {
+		t.Fatalf("%s: parse old: %v", format, err)
+	}
+	newT, err := parse(pair[1])
+	if err != nil {
+		t.Fatalf("%s: parse new: %v", format, err)
+	}
+	return oldT, newT
+}
+
+func TestInjectionDisabledByDefault(t *testing.T) {
+	if fault.Active() {
+		t.Fatal("fault injection active without any plan armed")
+	}
+	if fault.Hits() != nil {
+		t.Fatal("fault hit ledger non-nil without any plan armed")
+	}
+}
+
+// TestDisabledInjectionIsByteIdentical is the differential check the
+// failure model must pass: with no plan armed the injection checkpoints
+// and degradation ladder are pure pass-throughs, so a default-options
+// diff produces byte-identical scripts run after run — including while
+// a plan is armed at a point the engine never reaches, and after a plan
+// has been activated and deactivated.
+func TestDisabledInjectionIsByteIdentical(t *testing.T) {
+	for format, pair := range failurePairs {
+		t.Run(format, func(t *testing.T) {
+			run := func() []byte {
+				oldT, newT := parsePair(t, format, pair)
+				res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
+				if err != nil {
+					t.Fatalf("Diff: %v", err)
+				}
+				if res.Degraded || len(res.DegradedReasons) != 0 {
+					t.Fatalf("clean run marked degraded: %v", res.DegradedReasons)
+				}
+				out, err := json.Marshal(res.Script)
+				if err != nil {
+					t.Fatalf("marshal script: %v", err)
+				}
+				return out
+			}
+
+			base := run()
+			if again := run(); !bytes.Equal(base, again) {
+				t.Errorf("two consecutive runs differ:\n%s\n%s", base, again)
+			}
+
+			// A plan armed at a server-only point must not perturb the
+			// in-process engine.
+			deactivate := fault.Activate(fault.Plan{Rules: []fault.Rule{
+				{Point: fault.ServerWrite, Mode: fault.ModeError},
+			}})
+			armed := run()
+			deactivate()
+			if !bytes.Equal(base, armed) {
+				t.Errorf("run with unrelated plan armed differs:\n%s\n%s", base, armed)
+			}
+
+			// An activate/deactivate cycle must leave no residue.
+			fault.Activate(fault.Plan{Rules: []fault.Rule{
+				{Point: fault.Match, Mode: fault.ModePanic},
+			}})()
+			if after := run(); !bytes.Equal(base, after) {
+				t.Errorf("run after a deactivated plan differs:\n%s\n%s", base, after)
+			}
+		})
+	}
+}
+
+// TestServerDefaultsMatchExplicitKnobs pins wire compatibility: a
+// server with a zero-value Config and one spelling out the defaults of
+// the new failure-model knobs return byte-identical /v1/diff bodies,
+// and clean responses carry no "degraded" key at all.
+func TestServerDefaultsMatchExplicitKnobs(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	implicit := httptest.NewServer(server.New(server.Config{Logger: quiet}).Handler())
+	defer implicit.Close()
+	explicit := httptest.NewServer(server.New(server.Config{
+		Logger:          quiet,
+		MatchWorkBudget: 0,
+		MaxTreeDepth:    10_000,
+	}).Handler())
+	defer explicit.Close()
+
+	post := func(ts *httptest.Server, body string) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/diff", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		return data
+	}
+
+	canonicalBody := func(t *testing.T, body []byte) []byte {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("decode body: %v", err)
+		}
+		if stats, ok := m["stats"].(map[string]any); ok {
+			delete(stats, "phaseMicros")
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	for format, pair := range failurePairs {
+		req, err := json.Marshal(map[string]string{
+			"format": format, "old": pair[0], "new": pair[1],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := post(implicit, string(req))
+		b := post(explicit, string(req))
+		// Phase timings are the one legitimately nondeterministic field;
+		// everything else must agree byte for byte after re-encoding.
+		ca, cb := canonicalBody(t, a), canonicalBody(t, b)
+		if !bytes.Equal(ca, cb) {
+			t.Errorf("%s: default and explicit-knob servers differ:\n%s\n%s", format, ca, cb)
+		}
+		if bytes.Contains(a, []byte(`"degraded"`)) {
+			t.Errorf("%s: clean response leaks a degraded marker: %s", format, a)
+		}
+	}
+}

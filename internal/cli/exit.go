@@ -4,7 +4,11 @@
 // input from a pipeline failure without parsing stderr.
 package cli
 
-import "errors"
+import (
+	"errors"
+
+	"ladiff/internal/lderr"
+)
 
 // Process exit codes. 0 is success and 1 an unclassified failure.
 const (
@@ -15,6 +19,10 @@ const (
 	// ExitDiff: the diff pipeline itself failed (invalid thresholds,
 	// matching or generation errors).
 	ExitDiff = 4
+	// ExitInternal: an internal failure — a contained engine panic or a
+	// violated self-check. Unlike ExitDiff this is never the input's
+	// fault; scripts should treat it as a bug report, not bad data.
+	ExitInternal = 5
 )
 
 // codedError attaches an exit code to an error while preserving the
@@ -35,6 +43,17 @@ func ParseError(err error) error { return &codedError{ExitParse, err} }
 
 // DiffError marks err as a diff-pipeline failure (exit 4).
 func DiffError(err error) error { return &codedError{ExitDiff, err} }
+
+// PipelineError classifies a diff-pipeline failure through the error
+// taxonomy: errors tagged lderr.ErrInternal (contained panics, failed
+// generator self-checks) get ExitInternal; everything else keeps the
+// established ExitDiff.
+func PipelineError(err error) error {
+	if errors.Is(err, lderr.ErrInternal) {
+		return &codedError{ExitInternal, err}
+	}
+	return &codedError{ExitDiff, err}
+}
 
 // ExitCode maps a run() error to the process exit code: nil → 0,
 // classified errors → their code, anything else → 1.

@@ -1,0 +1,41 @@
+package client
+
+import (
+	"context"
+
+	"ladiff/internal/server"
+)
+
+// The wire types are the server's own request/response structs, so the
+// client cannot drift from the API it talks to.
+type (
+	// DiffRequest is the body of POST /v1/diff.
+	DiffRequest = server.DiffRequest
+	// DiffResponse is the body of a successful POST /v1/diff.
+	DiffResponse = server.DiffResponse
+	// PatchRequest is the body of POST /v1/patch.
+	PatchRequest = server.PatchRequest
+	// PatchResponse is the body of a successful POST /v1/patch.
+	PatchResponse = server.PatchResponse
+)
+
+// Diff computes the edit script between req.Old and req.New on the
+// server, retrying transient failures. Check resp.Degraded to learn
+// whether the server fell back to a cheaper mode to produce it.
+func (c *Client) Diff(ctx context.Context, req DiffRequest) (*DiffResponse, error) {
+	var resp DiffResponse
+	if err := c.do(ctx, "/v1/diff", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Patch applies (or inverts) a script against req.Base on the server,
+// retrying transient failures.
+func (c *Client) Patch(ctx context.Context, req PatchRequest) (*PatchResponse, error) {
+	var resp PatchResponse
+	if err := c.do(ctx, "/v1/patch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,331 @@
+// Package client is a retrying HTTP client for ladiffd, built for
+// callers that outlive individual request failures: a watcher polling a
+// page every few minutes should ride out a server restart or a
+// transient 503, not die on it.
+//
+// The failure handling is layered:
+//
+//   - Per-attempt deadlines: each attempt gets its own timeout carved
+//     out of the caller's context, so one hung connection cannot eat
+//     the whole retry budget.
+//   - Exponential backoff with jitter between attempts, honoring a
+//     Retry-After header when the server sends one (429/503 from
+//     admission control and drain both do).
+//   - A consecutive-failure circuit breaker: after Breaker failures in
+//     a row the client fails fast with ErrCircuitOpen for a cooldown
+//     period instead of hammering a down server, then lets one probe
+//     through (half-open) to test recovery.
+//
+// Only transient failures are retried: transport errors, 429, 502,
+// 503, 504. A 400 or 422 is the caller's bug and returns immediately
+// as an *APIError.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without any network I/O while the circuit
+// breaker is open: the server has failed Config.Breaker consecutive
+// times and the cooldown has not yet elapsed.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// APIError is a non-2xx response from ladiffd, decoded from its error
+// envelope. Status is the HTTP status; Code and Message are the
+// server's machine-readable code ("over_budget", "tree_too_large", …)
+// and human-readable detail.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+
+	// retryAfter is the server's Retry-After hint, folded into the
+	// backoff schedule.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ladiffd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether the error is worth retrying: the request
+// was fine, the server just couldn't take it right now.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Config tunes one Client. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// BaseURL is the root of the ladiffd API, e.g. "http://localhost:8044".
+	BaseURL string
+	// HTTPClient is the underlying transport. Nil means a dedicated
+	// http.Client (deliberately not http.DefaultClient, so per-attempt
+	// deadlines never fight an ambient global timeout).
+	HTTPClient *http.Client
+	// MaxRetries is how many times a failed request is retried, so a
+	// request makes at most MaxRetries+1 attempts. 0 means 3; negative
+	// disables retries.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it. 0 means 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the computed backoff (before jitter). 0 means 5s.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt, independent of the
+	// caller's overall context. 0 means 10s.
+	AttemptTimeout time.Duration
+	// Breaker is the number of consecutive failed requests (all
+	// attempts exhausted) that opens the circuit breaker. 0 means 5;
+	// negative disables the breaker.
+	Breaker int
+	// BreakerCooldown is how long the breaker stays open before
+	// allowing a half-open probe. 0 means 15s.
+	BreakerCooldown time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.Breaker == 0 {
+		c.Breaker = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
+	return c
+}
+
+// Client is a retrying ladiffd client, safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	// sleep and now are swapped out by tests so retry schedules can be
+	// asserted without real waiting.
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+
+	mu       sync.Mutex
+	rng      *rand.Rand // jitter source, guarded by mu
+	failures int        // consecutive failed requests
+	openedAt time.Time  // when the breaker last opened
+	probing  bool       // a half-open probe is in flight
+}
+
+// New returns a Client for the ladiffd instance at cfg.BaseURL.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:   cfg,
+		sleep: sleepCtx,
+		now:   time.Now,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff computes the jittered delay before retry number retry
+// (0-based), taking the larger of the exponential schedule and the
+// server's Retry-After hint.
+func (c *Client) backoff(retry int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << uint(retry)
+	if d > c.cfg.MaxBackoff || d <= 0 { // <=0: shift overflow
+		d = c.cfg.MaxBackoff
+	}
+	// Full jitter in [d/2, d): desynchronizes a fleet of clients
+	// retrying against the same recovering server.
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// checkBreaker gates a new request on the circuit state. It returns
+// ErrCircuitOpen while open; in half-open state it admits exactly one
+// probe at a time.
+func (c *Client) checkBreaker() error {
+	if c.cfg.Breaker < 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failures < c.cfg.Breaker {
+		return nil
+	}
+	if c.now().Sub(c.openedAt) < c.cfg.BreakerCooldown || c.probing {
+		return ErrCircuitOpen
+	}
+	c.probing = true // half-open: this request is the probe
+	return nil
+}
+
+// report records the outcome of a whole request (after retries) into
+// the breaker state.
+func (c *Client) report(failed bool) {
+	if c.cfg.Breaker < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probing = false
+	if !failed {
+		c.failures = 0
+		return
+	}
+	c.failures++
+	if c.failures >= c.cfg.Breaker {
+		c.openedAt = c.now()
+	}
+}
+
+// Failures returns the current consecutive-failure count (used by
+// tests and health displays).
+func (c *Client) Failures() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures
+}
+
+// retryAfter parses a Retry-After header (seconds form only; ladiffd
+// never sends the HTTP-date form).
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// do POSTs body to path with the full retry/backoff/breaker treatment
+// and decodes a 200 response into out.
+func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	if err := c.checkBreaker(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		c.report(false) // caller bug, not a server failure
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.attempt(ctx, path, payload, out)
+		if lastErr == nil {
+			c.report(false)
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(lastErr, &apiErr) && !apiErr.Temporary() {
+			// A definitive server verdict: retrying cannot help, and it
+			// is not a server-health signal either.
+			c.report(false)
+			return lastErr
+		}
+		if attempt >= c.cfg.MaxRetries || ctx.Err() != nil {
+			break
+		}
+		var ra time.Duration
+		if apiErr != nil {
+			ra = apiErr.retryAfter
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, ra)); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	c.report(true)
+	return fmt.Errorf("client: %s failed after %d attempt(s): %w",
+		path, c.cfg.MaxRetries+1, lastErr)
+}
+
+// attempt runs one HTTP round trip under the per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode, retryAfter: retryAfter(resp.Header)}
+		var envelope struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+		} else {
+			apiErr.Code = "unknown"
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}

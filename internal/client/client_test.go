@@ -1,0 +1,260 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestClient wires a Client to srv with instant, recorded sleeps.
+func newTestClient(t *testing.T, srv *httptest.Server, cfg Config) (*Client, *[]time.Duration) {
+	t.Helper()
+	cfg.BaseURL = srv.URL
+	c := New(cfg)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return c, &slept
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"draining","message":"server is draining"}}`))
+			return
+		}
+		w.Write([]byte(`{"format":"text","output":"script","stats":{"ops":0}}`))
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{})
+	resp, err := c.Diff(context.Background(), DiffRequest{Old: "a", New: "a", Format: "text"})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if resp.Format != "text" {
+		t.Errorf("Format = %q, want text", resp.Format)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	// Exponential schedule with jitter in [d/2, d]: first retry from
+	// base 100ms, second from 200ms.
+	if d := (*slept)[0]; d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Errorf("first backoff %v outside [50ms, 100ms]", d)
+	}
+	if d := (*slept)[1]; d < 100*time.Millisecond || d > 200*time.Millisecond {
+		t.Errorf("second backoff %v outside [100ms, 200ms]", d)
+	}
+	if c.Failures() != 0 {
+		t.Errorf("failures = %d after success, want 0", c.Failures())
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"at capacity"}}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{})
+	if _, err := c.Diff(context.Background(), DiffRequest{}); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(*slept))
+	}
+	// Retry-After: 2 dominates the ~100ms exponential backoff.
+	if d := (*slept)[0]; d != 2*time.Second {
+		t.Errorf("backoff %v, want 2s from Retry-After", d)
+	}
+}
+
+func TestNoRetryOnPermanentError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"parse_error","message":"old document: bad"}}`))
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{})
+	_, err := c.Diff(context.Background(), DiffRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != "parse_error" {
+		t.Errorf("got %d %q, want 400 parse_error", apiErr.Status, apiErr.Code)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on 400)", got)
+	}
+	if c.Failures() != 0 {
+		t.Errorf("failures = %d, want 0: a 400 is not a server-health signal", c.Failures())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxRetries: 2})
+	_, err := c.Diff(context.Background(), DiffRequest{})
+	if err == nil {
+		t.Fatal("Diff succeeded, want failure")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Errorf("error %v does not wrap the final 503", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+	if c.Failures() != 1 {
+		t.Errorf("failures = %d, want 1", c.Failures())
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if fail.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxRetries: -1, Breaker: 2, BreakerCooldown: time.Minute})
+	now := time.Now()
+	c.now = func() time.Time { return now }
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Diff(context.Background(), DiffRequest{}); err == nil {
+			t.Fatal("Diff succeeded against failing server")
+		}
+	}
+	before := calls.Load()
+
+	// Open: requests fail fast without touching the network.
+	if _, err := c.Diff(context.Background(), DiffRequest{}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("error %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != before {
+		t.Error("open breaker still sent a request")
+	}
+
+	// After the cooldown a half-open probe goes through; the server has
+	// recovered, so the breaker closes.
+	now = now.Add(2 * time.Minute)
+	fail.Store(false)
+	if _, err := c.Diff(context.Background(), DiffRequest{}); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if c.Failures() != 0 {
+		t.Errorf("failures = %d after successful probe, want 0", c.Failures())
+	}
+	if _, err := c.Diff(context.Background(), DiffRequest{}); err != nil {
+		t.Fatalf("Diff after recovery: %v", err)
+	}
+}
+
+func TestCircuitBreakerReopensOnFailedProbe(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxRetries: -1, Breaker: 1, BreakerCooldown: time.Minute})
+	now := time.Now()
+	c.now = func() time.Time { return now }
+
+	if _, err := c.Diff(context.Background(), DiffRequest{}); err == nil {
+		t.Fatal("Diff succeeded against failing server")
+	}
+	now = now.Add(2 * time.Minute)
+	// Probe fails: breaker reopens with a fresh cooldown.
+	if _, err := c.Diff(context.Background(), DiffRequest{}); errors.Is(err, ErrCircuitOpen) || err == nil {
+		t.Fatalf("probe error = %v, want a real request failure", err)
+	}
+	if _, err := c.Diff(context.Background(), DiffRequest{}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("error %v, want ErrCircuitOpen after failed probe", err)
+	}
+}
+
+func TestPerAttemptDeadline(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c, _ := newTestClient(t, srv, Config{MaxRetries: -1, AttemptTimeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := c.Diff(context.Background(), DiffRequest{})
+	if err == nil {
+		t.Fatal("Diff succeeded against a hung server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("attempt took %v; per-attempt deadline did not fire", elapsed)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxRetries: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the caller gives up during the first backoff
+		return ctx.Err()
+	}
+	_, err := c.Diff(ctx, DiffRequest{})
+	if err == nil {
+		t.Fatal("Diff succeeded, want cancellation")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (cancelled during first backoff)", got)
+	}
+}

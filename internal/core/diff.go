@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"ladiff/internal/edit"
+	"ladiff/internal/lderr"
 	"ladiff/internal/match"
 	"ladiff/internal/tree"
 	"ladiff/internal/zs"
@@ -57,10 +59,22 @@ type Options struct {
 // Diff runs the full change-detection pipeline of the paper on old and
 // new: Good Matching (§5), optional post-processing (§8), then Algorithm
 // EditScript (§4). Neither input tree is modified.
-func Diff(old, new *tree.Tree, opts Options) (*Result, error) {
+//
+// When Options.Match.WorkBudget is set and the selected matcher (Match
+// or the Zhang–Shasha route) exhausts it, Diff degrades instead of
+// failing: it reruns the cheap FastMatch unbudgeted and marks the
+// result Degraded with the reason recorded in DegradedReasons. Budget
+// exhaustion under FastMatcher itself has no cheaper fallback and
+// surfaces as an lderr.ErrDegraded-tagged error.
+func Diff(old, new *tree.Tree, opts Options) (_ *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = lderr.Recovered("core", v)
+		}
+	}()
 	if opts.Ctx != nil {
 		if err := opts.Ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: diff cancelled: %w", err)
+			return nil, lderr.Canceled(fmt.Errorf("core: diff cancelled: %w", err))
 		}
 		if opts.Match.Ctx == nil {
 			opts.Match.Ctx = opts.Ctx
@@ -69,29 +83,65 @@ func Diff(old, new *tree.Tree, opts Options) (*Result, error) {
 			opts.Gen.Ctx = opts.Ctx
 		}
 	}
-	var (
-		m   *match.Matching
-		err error
-	)
-	switch opts.Matcher {
-	case FastMatcher:
-		m, err = match.FastMatch(old, new, opts.Match)
-	case SimpleMatcher:
-		m, err = match.Match(old, new, opts.Match)
-	case ZSMatcher:
-		m, err = zsMatching(old, new, opts.Match)
-	default:
-		return nil, fmt.Errorf("core: unknown matcher %d", opts.Matcher)
-	}
+	m, degradedReasons, err := MatchWithFallback(old, new, opts.Matcher, opts.Match)
 	if err != nil {
-		return nil, fmt.Errorf("core: matching: %w", err)
+		return nil, err
 	}
 	if opts.PostProcess {
 		if _, err := match.PostProcess(old, new, m, opts.Match); err != nil {
 			return nil, fmt.Errorf("core: post-processing: %w", err)
 		}
 	}
-	return EditScriptWith(old, new, m, opts.Gen)
+	res, err := EditScriptWith(old, new, m, opts.Gen)
+	if err != nil {
+		return nil, err
+	}
+	if len(degradedReasons) > 0 {
+		res.Degraded = true
+		res.DegradedReasons = append(degradedReasons, res.DegradedReasons...)
+	}
+	return res, nil
+}
+
+// MatchWithFallback runs the selected matcher with the degradation
+// ladder Diff uses: when a budgeted Match or ZSMatcher run exhausts its
+// work budget (an lderr.ErrDegraded-tagged failure), the matching is
+// recomputed with the cheap FastMatch, unbudgeted, and the returned
+// reasons slice records the fallback (empty for a clean run). FastMatch
+// itself has no cheaper fallback, so its budget exhaustion propagates
+// as an error.
+func MatchWithFallback(old, new *tree.Tree, matcher Matcher, opts match.Options) (*match.Matching, []string, error) {
+	var (
+		m    *match.Matching
+		name string
+		err  error
+	)
+	switch matcher {
+	case FastMatcher:
+		m, err = match.FastMatch(old, new, opts)
+	case SimpleMatcher:
+		name = "match"
+		m, err = match.Match(old, new, opts)
+	case ZSMatcher:
+		name = "zs"
+		m, err = zsMatching(old, new, opts)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown matcher %d", matcher)
+	}
+	if err == nil {
+		return m, nil, nil
+	}
+	if name == "" || !errors.Is(err, lderr.ErrDegraded) {
+		return nil, nil, fmt.Errorf("core: matching: %w", err)
+	}
+	fallbackOpts := opts
+	fallbackOpts.WorkBudget = 0
+	m, ferr := match.FastMatch(old, new, fallbackOpts)
+	if ferr != nil {
+		return nil, nil, fmt.Errorf("core: matching: %w", ferr)
+	}
+	reason := fmt.Sprintf("match: %s exceeded work budget %d; fell back to fastmatch", name, opts.WorkBudget)
+	return m, []string{reason}, nil
 }
 
 // DiffContext is Diff bounded by ctx: the pipeline polls the context
@@ -112,6 +162,15 @@ func DiffContext(ctx context.Context, old, new *tree.Tree, opts Options) (*Resul
 // pairs priced by value distance, so every surviving pair is a legal
 // matching entry.
 func zsMatching(old, new *tree.Tree, opts match.Options) (*match.Matching, error) {
+	// Budget pre-gate: Zhang–Shasha is Ω(n1·n2) before the first useful
+	// result, so a budgeted run whose tree product already exceeds the
+	// budget degrades immediately instead of burning the work first.
+	if b := opts.WorkBudget; b > 0 {
+		if n1, n2 := int64(old.Len()), int64(new.Len()); n1 > 0 && n2 > b/n1 {
+			return nil, lderr.Degraded(fmt.Errorf(
+				"core: zs matcher needs ≥ %d·%d work units, budget is %d", n1, n2, b))
+		}
+	}
 	cmp := opts.Compare
 	pairs, _, err := zs.Mapping(old, new, zs.MatchingCosts(cmp))
 	if err != nil {

@@ -32,7 +32,9 @@ import (
 	"fmt"
 
 	"ladiff/internal/edit"
+	"ladiff/internal/fault"
 	"ladiff/internal/lcs"
+	"ladiff/internal/lderr"
 	"ladiff/internal/match"
 	"ladiff/internal/tree"
 )
@@ -65,6 +67,14 @@ type Result struct {
 	RootsWrapped   bool
 	WrappedOldRoot tree.NodeID
 	WrappedNewRoot tree.NodeID
+
+	// Degraded records that the pipeline completed only by falling back
+	// to a cheaper mode: FastMatch after a budgeted matcher exhausted its
+	// work budget, or the reference scan generator after the indexed
+	// generation path failed its self-check. The script is still verified
+	// isomorphic to New; DegradedReasons lists what was given up.
+	Degraded        bool
+	DegradedReasons []string
 
 	// Work counts the abstract operations Algorithm EditScript performed
 	// — the machine-independent measure behind the O(ND) analysis
@@ -177,10 +187,44 @@ func EditScript(t1, t2 *tree.Tree, m *match.Matching) (*Result, error) {
 }
 
 // EditScriptWith is EditScript with explicit generator options.
+//
+// The indexed FindPos path is self-checking: a failure there (a broken
+// index invariant, a panic, an injected fault) is not fatal — the run is
+// retried once on the reference scan generator of Figure 9, and the
+// retried result is marked Degraded. Cancellation is never retried.
 func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Result, error) {
 	if t1 == nil || t2 == nil || t1.Root() == nil || t2.Root() == nil {
 		return nil, errors.New("core: EditScript requires two non-empty trees")
 	}
+	if err := fault.Check(fault.Generate); err != nil {
+		return nil, lderr.TagAs(lderr.ErrInternal, err)
+	}
+	res, err := editScriptRun(t1, t2, m, opts)
+	if err == nil || opts.DisableIndex || lderr.KindOf(err) == lderr.ErrCanceled {
+		return res, err
+	}
+	// Indexed-path failure: degrade to the scan generator. If the retry
+	// fails too, the failure is real — report the original error.
+	scanOpts := opts
+	scanOpts.DisableIndex = true
+	res, retryErr := editScriptRun(t1, t2, m, scanOpts)
+	if retryErr != nil {
+		return nil, err
+	}
+	res.Degraded = true
+	res.DegradedReasons = append(res.DegradedReasons,
+		fmt.Sprintf("gen: indexed path failed (%v); fell back to scan generator", err))
+	return res, nil
+}
+
+// editScriptRun is one EditScript attempt; panics become
+// lderr.ErrInternal so EditScriptWith can decide whether to degrade.
+func editScriptRun(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (_ *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = lderr.Recovered("gen", v)
+		}
+	}()
 	if opts.Ctx != nil {
 		if err := opts.Ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: edit-script generation cancelled: %w", err)
@@ -229,6 +273,9 @@ func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Res
 	// covers the dummy roots; the working tree's PosIndex is maintained
 	// through every emitted operation from here on.
 	if !opts.DisableIndex {
+		if err := fault.Check(fault.GenIndex); err != nil {
+			return nil, lderr.TagAs(lderr.ErrInternal, err)
+		}
 		g.gi = newGenIndex(g.new, g.work, g.inOrder2)
 	}
 
@@ -243,10 +290,10 @@ func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Res
 	g.result.Total = g.mm
 	g.result.Transformed = g.work
 	if !tree.Isomorphic(g.work, g.new) {
-		return nil, errors.New("core: internal error: transformed tree not isomorphic to new tree")
+		return nil, lderr.Internal(errors.New("core: internal error: transformed tree not isomorphic to new tree"))
 	}
 	if err := g.work.Validate(); err != nil {
-		return nil, fmt.Errorf("core: internal error: %w", err)
+		return nil, lderr.Internal(fmt.Errorf("core: internal error: %w", err))
 	}
 	return g.result, nil
 }

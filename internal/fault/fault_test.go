@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	if Active() {
+		t.Fatal("injection active with no plan armed")
+	}
+	if err := Check(Match); err != nil {
+		t.Fatalf("Check with no plan: %v", err)
+	}
+	r := strings.NewReader("data")
+	if got := Reader(ServerRead, r); got != r {
+		t.Error("Reader wrapped the stream with no plan armed")
+	}
+	if Hits() != nil {
+		t.Error("Hits non-nil with no plan armed")
+	}
+}
+
+func TestErrorModeAndHits(t *testing.T) {
+	defer Activate(Plan{Rules: []Rule{{Point: Match, Mode: ModeError}}})()
+	if !Active() {
+		t.Fatal("plan armed but not Active")
+	}
+	for i := 0; i < 3; i++ {
+		if err := Check(Match); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Check: %v, want ErrInjected", err)
+		}
+	}
+	if err := Check(Generate); err != nil {
+		t.Errorf("unarmed point fired: %v", err)
+	}
+	if got := Hits()[Match]; got != 3 {
+		t.Errorf("hits = %d, want 3", got)
+	}
+}
+
+func TestPanicModeCarriesPoint(t *testing.T) {
+	defer Activate(Plan{Rules: []Rule{{Point: ParseXML, Mode: ModePanic}}})()
+	defer func() {
+		v := recover()
+		ip, ok := v.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want InjectedPanic", v)
+		}
+		if ip.Point != ParseXML {
+			t.Errorf("panic point = %s, want %s", ip.Point, ParseXML)
+		}
+	}()
+	_ = Check(ParseXML)
+	t.Fatal("Check did not panic")
+}
+
+func TestCancelModeWrapsContextCanceled(t *testing.T) {
+	defer Activate(Plan{Rules: []Rule{{Point: Match, Mode: ModeCancel}}})()
+	err := Check(Match)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("not an injected error: %v", err)
+	}
+	// The synthetic cancellation must be classifiable like a real one.
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("cancellation cause missing: %v", err)
+	}
+}
+
+func TestProbabilityIsSeededAndDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		defer Activate(Plan{Seed: seed, Rules: []Rule{{Point: Match, Mode: ModeError, P: 0.5}}})()
+		var got []bool
+		for i := 0; i < 32; i++ {
+			got = append(got, Check(Match) != nil)
+		}
+		return got
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	fired := 0
+	for _, hit := range a {
+		if hit {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 fired %d/%d times; probability not applied", fired, len(a))
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	defer Activate(Plan{Rules: []Rule{{Point: ServerRead, Mode: ModeTruncate, Bytes: 5}}})()
+	r := Reader(ServerRead, strings.NewReader("hello world"))
+	data, err := io.ReadAll(r)
+	if string(data) != "hello" {
+		t.Errorf("read %q, want the first 5 bytes", data)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) || !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want injected ErrUnexpectedEOF", err)
+	}
+}
+
+func TestSlowReader(t *testing.T) {
+	defer Activate(Plan{Rules: []Rule{{Point: ServerRead, Mode: ModeSlowRead, Delay: time.Microsecond}}})()
+	r := Reader(ServerRead, strings.NewReader("abc"))
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if err != nil || n != 1 {
+		t.Errorf("slow read returned (%d, %v), want 1 byte at a time", n, err)
+	}
+	if data, _ := io.ReadAll(r); string(data) != "bc" {
+		t.Errorf("remainder = %q, want %q (no bytes lost)", data, "bc")
+	}
+}
+
+func TestDeactivateDisarms(t *testing.T) {
+	deactivate := Activate(Plan{Rules: []Rule{{Point: Match, Mode: ModeError}}})
+	deactivate()
+	if Active() {
+		t.Fatal("still active after deactivation")
+	}
+	if err := Check(Match); err != nil {
+		t.Fatalf("Check after deactivation: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("match.run:panic:p=0.2,server.read:slowread:delay=5ms,server.read:truncate:bytes=64;seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 {
+		t.Errorf("seed = %d, want 7", plan.Seed)
+	}
+	if len(plan.Rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(plan.Rules))
+	}
+	want := []Rule{
+		{Point: Match, Mode: ModePanic, P: 0.2},
+		{Point: ServerRead, Mode: ModeSlowRead, Delay: 5 * time.Millisecond},
+		{Point: ServerRead, Mode: ModeTruncate, Bytes: 64},
+	}
+	for i, r := range plan.Rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"nosuch.point:error",
+		"match.run:nosuchmode",
+		"match.run",
+		"match.run:error:p",
+		"match.run:error;tick=1",
+		"match.run:error:frequency=2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"strings"
 
+	"ladiff/internal/fault"
 	"ladiff/internal/gen"
 	"ladiff/internal/latex"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -26,7 +28,26 @@ const (
 
 // Parse converts HTML into a document tree.
 func Parse(src string) (*tree.Tree, error) {
-	t := tree.NewWithRoot(gen.LabelDocument, "")
+	return ParseLimited(src, tree.Limits{})
+}
+
+// ParseLimited is Parse with resource limits enforced while the tree is
+// built: MaxBytes against the raw input up front, MaxNodes/MaxDepth at
+// the first node past the limit. Errors are tagged for the lderr
+// taxonomy: syntax failures as ErrParse, limit violations as ErrLimit.
+func ParseLimited(src string, lim tree.Limits) (_ *tree.Tree, err error) {
+	defer func() { err = lderr.TagAs(lderr.ErrParse, err) }()
+	if err := fault.Check(fault.ParseHTML); err != nil {
+		return nil, err
+	}
+	if err := lim.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	defer tree.CatchLimit(&err)
+	t := tree.New()
+	t.Restrict(lim)
+	defer t.Unrestrict()
+	t.SetRoot(gen.LabelDocument, "")
 	p := &parser{t: t}
 	if err := p.run(src); err != nil {
 		return nil, err

@@ -1,0 +1,72 @@
+package jsondoc_test
+
+import (
+	"errors"
+	"testing"
+
+	"ladiff/internal/jsondoc"
+	"ladiff/internal/lderr"
+	"ladiff/internal/tree"
+)
+
+// FuzzParse feeds arbitrary input to the JSON parser: it must never
+// panic, accepted inputs must yield valid trees that survive a
+// render/re-parse round trip, and the streaming limit guard must hold
+// under the same inputs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"null",
+		"true",
+		"42",
+		"-3.25",
+		`"string"`,
+		"[]",
+		"{}",
+		`[1,2,3]`,
+		`{"k":"v"}`,
+		`{"name":"alpha","tags":["x","y"],"count":1}`,
+		`{"a":{"b":{"c":[null,false,{"d":0}]}}}`,
+		`[[[[[[1]]]]]]`,
+		`{"dup":1,"dup":2}`,
+		`{"unterminated":`,
+		"[1,2",
+		`{"A":"escaped key"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := jsondoc.Parse(src)
+		if err != nil {
+			if lderr.KindOf(err) != lderr.ErrParse {
+				t.Fatalf("rejection not tagged ErrParse: %v\ninput: %q", err, src)
+			}
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("accepted tree invalid: %v\ninput: %q", err, src)
+		}
+		rendered, err := jsondoc.Render(doc)
+		if err != nil {
+			t.Fatalf("accepted tree does not render: %v\ninput: %q", err, src)
+		}
+		back, err := jsondoc.Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered output does not re-parse: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+		if !tree.Isomorphic(doc, back) {
+			t.Fatalf("render round trip not isomorphic\ninput: %q\nrendered: %q", src, rendered)
+		}
+		lim, err := jsondoc.ParseLimited(src, tree.Limits{MaxNodes: 4, MaxDepth: 3})
+		if err != nil {
+			if !errors.Is(err, lderr.ErrLimit) {
+				t.Fatalf("limited parse failed without ErrLimit: %v\ninput: %q", err, src)
+			}
+			return
+		}
+		if lim.Len() > 4 {
+			t.Fatalf("limited parse built %d nodes past MaxNodes=4\ninput: %q", lim.Len(), src)
+		}
+	})
+}

@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 
+	"ladiff/internal/fault"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -45,7 +47,24 @@ const (
 
 // Parse converts a JSON document into a tree.
 func Parse(src string) (*tree.Tree, error) {
-	dec := json.NewDecoder(strings.NewReader(src))
+	return ParseLimited(src, tree.Limits{})
+}
+
+// ParseLimited is Parse with resource limits enforced while the tree is
+// built: MaxBytes against the raw input up front, MaxNodes/MaxDepth at
+// the first node past the limit during tree construction. Errors are
+// tagged for the lderr taxonomy: syntax failures as ErrParse, limit
+// violations as ErrLimit.
+func ParseLimited(src string, lim tree.Limits) (_ *tree.Tree, err error) {
+	defer func() { err = lderr.TagAs(lderr.ErrParse, err) }()
+	if err := fault.Check(fault.ParseJSON); err != nil {
+		return nil, err
+	}
+	if err := lim.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	defer tree.CatchLimit(&err)
+	dec := json.NewDecoder(fault.Reader(fault.ParseJSON, strings.NewReader(src)))
 	dec.UseNumber()
 	var v any
 	if err := dec.Decode(&v); err != nil {
@@ -59,6 +78,8 @@ func Parse(src string) (*tree.Tree, error) {
 		return nil, fmt.Errorf("jsondoc: trailing data: %w", err)
 	}
 	t := tree.New()
+	t.Restrict(lim)
+	defer t.Unrestrict()
 	if err := build(t, nil, v); err != nil {
 		return nil, err
 	}

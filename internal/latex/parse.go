@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"strings"
 
+	"ladiff/internal/fault"
 	"ladiff/internal/gen"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -37,6 +39,23 @@ const (
 // stripped. Unknown commands inside text are kept verbatim as words, so
 // no content is lost.
 func Parse(src string) (*tree.Tree, error) {
+	return ParseLimited(src, tree.Limits{})
+}
+
+// ParseLimited is Parse with resource limits enforced while the tree is
+// built: MaxBytes against the raw input up front, MaxNodes/MaxDepth at
+// the first node past the limit. Errors are tagged for the lderr
+// taxonomy: syntax failures as ErrParse, limit violations as ErrLimit.
+func ParseLimited(src string, lim tree.Limits) (_ *tree.Tree, err error) {
+	defer func() { err = lderr.TagAs(lderr.ErrParse, err) }()
+	if err := fault.Check(fault.ParseLatex); err != nil {
+		return nil, err
+	}
+	if err := lim.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	defer tree.CatchLimit(&err)
+
 	body := src
 	if i := strings.Index(src, `\begin{document}`); i >= 0 {
 		body = src[i+len(`\begin{document}`):]
@@ -47,7 +66,10 @@ func Parse(src string) (*tree.Tree, error) {
 		}
 	}
 
-	t := tree.NewWithRoot(LabelDocument, "")
+	t := tree.New()
+	t.Restrict(lim)
+	defer t.Unrestrict()
+	t.SetRoot(LabelDocument, "")
 	p := &parser{t: t}
 	if err := p.parseBody(stripComments(body)); err != nil {
 		return nil, err

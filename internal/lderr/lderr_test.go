@@ -1,0 +1,128 @@
+package lderr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestTaggingPreservesCauseAndKind(t *testing.T) {
+	cause := errors.New("boom")
+	for _, tc := range []struct {
+		name string
+		tag  func(error) error
+		kind error
+	}{
+		{"parse", Parse, ErrParse},
+		{"limit", Limit, ErrLimit},
+		{"canceled", Canceled, ErrCanceled},
+		{"degraded", Degraded, ErrDegraded},
+		{"internal", Internal, ErrInternal},
+	} {
+		err := tc.tag(cause)
+		if !errors.Is(err, tc.kind) {
+			t.Errorf("%s: not errors.Is its kind", tc.name)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("%s: cause lost", tc.name)
+		}
+		if err.Error() != "boom" {
+			t.Errorf("%s: message %q, want the cause's message", tc.name, err.Error())
+		}
+		if KindOf(err) != tc.kind {
+			t.Errorf("%s: KindOf = %v", tc.name, KindOf(err))
+		}
+	}
+}
+
+func TestTagNil(t *testing.T) {
+	if Parse(nil) != nil || TagAs(ErrParse, nil) != nil {
+		t.Error("tagging nil must stay nil")
+	}
+}
+
+func TestSameKindRetagIsNoop(t *testing.T) {
+	err := Parse(errors.New("x"))
+	if again := Parse(err); again != err {
+		t.Error("re-tagging with the same kind allocated a new wrapper")
+	}
+}
+
+func TestTagAsKeepsExistingClassification(t *testing.T) {
+	// The deferred-classifier pattern must not overwrite a more specific
+	// kind applied deeper in the stack: a LimitError escaping a parser
+	// stays ErrLimit even though the parser's defer says ErrParse.
+	limitErr := Limit(errors.New("too big"))
+	got := TagAs(ErrParse, limitErr)
+	if KindOf(got) != ErrLimit {
+		t.Errorf("KindOf = %v, want ErrLimit preserved", KindOf(got))
+	}
+	// An unclassified error does get the deferred kind.
+	if KindOf(TagAs(ErrParse, errors.New("syntax"))) != ErrParse {
+		t.Error("unclassified error did not receive the deferred kind")
+	}
+	// Untagged context errors keep their implicit cancellation class.
+	if KindOf(TagAs(ErrParse, context.Canceled)) != ErrCanceled {
+		t.Error("context.Canceled was reclassified away from ErrCanceled")
+	}
+}
+
+func TestKindOfUntagged(t *testing.T) {
+	if KindOf(nil) != nil {
+		t.Error("KindOf(nil) != nil")
+	}
+	if KindOf(errors.New("plain")) != nil {
+		t.Error("plain error classified")
+	}
+	if KindOf(context.DeadlineExceeded) != ErrCanceled {
+		t.Error("DeadlineExceeded not classified as ErrCanceled")
+	}
+	if KindOf(fmt.Errorf("wrap: %w", context.Canceled)) != ErrCanceled {
+		t.Error("wrapped context.Canceled not classified as ErrCanceled")
+	}
+}
+
+func TestKindSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("outer: %w", Degraded(errors.New("budget")))
+	if KindOf(err) != ErrDegraded {
+		t.Errorf("KindOf through fmt.Errorf = %v, want ErrDegraded", KindOf(err))
+	}
+}
+
+func TestRecoveredCapturesStack(t *testing.T) {
+	var err error
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				err = Recovered("engine", v)
+			}
+		}()
+		panic("invariant broken")
+	}()
+	if KindOf(err) != ErrInternal {
+		t.Fatalf("KindOf = %v, want ErrInternal", KindOf(err))
+	}
+	if err.Error() != "engine: panic: invariant broken" {
+		t.Errorf("message = %q", err.Error())
+	}
+	stack := StackOf(err)
+	if len(stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	// The wrapped form still exposes the stack.
+	if StackOf(fmt.Errorf("outer: %w", err)) == nil {
+		t.Error("StackOf lost through wrapping")
+	}
+	if StackOf(errors.New("plain")) != nil {
+		t.Error("StackOf invented a stack for a plain error")
+	}
+}
+
+func TestRecoveredErrorValue(t *testing.T) {
+	cause := errors.New("root cause")
+	err := Recovered("gen", cause)
+	if !errors.Is(err, cause) {
+		t.Error("panic value that was an error is not reachable via errors.Is")
+	}
+}

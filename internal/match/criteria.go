@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"ladiff/internal/compare"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -83,6 +85,16 @@ type Options struct {
 	// the run always completes. Cancellation aborts the run; it never
 	// yields a partial matching.
 	Ctx context.Context
+	// WorkBudget, when positive, bounds the run's logical work in the §8
+	// cost-model units (r1 + r2: leaf compares plus partner checks).
+	// Exhausting the budget aborts the run with an lderr.ErrDegraded-
+	// tagged error, which callers use to fall back to a cheaper matcher
+	// (core.Diff retries with FastMatch). The budget is shared across the
+	// parallel workers of a run, so the trip point under Parallelism > 1
+	// may land a few comparisons earlier or later than sequentially; a
+	// run that completes within budget is still bit-identical at every
+	// parallelism setting.
+	WorkBudget int64
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -221,6 +233,10 @@ type matcher struct {
 	// immediately, so the enclosing loops unwind fast.
 	ctxPolls int64
 	err      error
+	// budget is the remaining work budget in r1+r2 units, shared across
+	// the run's parallel forks; nil when Options.WorkBudget is unset.
+	// Going negative latches errBudget into err.
+	budget *atomic.Int64
 }
 
 // ctxPollStride is how many equality evaluations elapse between context
@@ -263,13 +279,34 @@ func (mr *matcher) checkCtxNow() bool {
 	return false
 }
 
-// runErr converts a latched cancellation into the error the public
-// matchers return.
-func (mr *matcher) runErr() error {
-	if mr.err == nil {
-		return nil
+// errBudget is latched when the work budget runs out. It is tagged
+// lderr.ErrDegraded so callers can distinguish "too expensive, try a
+// cheaper matcher" from cancellation.
+var errBudget = lderr.Degraded(errors.New("match: work budget exhausted"))
+
+// charge debits n work units from the shared budget, latching errBudget
+// when it runs out. No-op for unbudgeted runs.
+func (mr *matcher) charge(n int64) {
+	if mr.budget == nil {
+		return
 	}
-	return fmt.Errorf("match: cancelled: %w", mr.err)
+	if mr.budget.Add(-n) < 0 && mr.err == nil {
+		mr.err = errBudget
+	}
+}
+
+// runErr converts a latched abort into the error the public matchers
+// return: budget exhaustion and recovered worker panics pass through
+// (already taxonomy-tagged), cancellation is wrapped and tagged.
+func (mr *matcher) runErr() error {
+	switch {
+	case mr.err == nil:
+		return nil
+	case errors.Is(mr.err, lderr.ErrDegraded) || errors.Is(mr.err, lderr.ErrInternal):
+		return mr.err
+	default:
+		return lderr.Canceled(fmt.Errorf("match: cancelled: %w", mr.err))
+	}
 }
 
 func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
@@ -280,7 +317,7 @@ func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
 	if t1.Root() == nil || t2.Root() == nil {
 		return nil, errors.New("match: empty tree")
 	}
-	return &matcher{
+	mr := &matcher{
 		t1: t1, t2: t2,
 		idx1: t1.Index(), idx2: t2.Index(),
 		opts: opts, m: NewMatching(),
@@ -288,7 +325,12 @@ func newMatcher(t1, t2 *tree.Tree, opts Options) (*matcher, error) {
 		words2:       make(map[tree.NodeID][]string),
 		leafMemo:     make(map[pairKey]bool),
 		internalMemo: make(map[pairKey]internalMemoEntry),
-	}, nil
+	}
+	if opts.WorkBudget > 0 {
+		mr.budget = &atomic.Int64{}
+		mr.budget.Store(opts.WorkBudget)
+	}
+	return mr, nil
 }
 
 // matchedOld reports whether old node x is matched, consulting the
@@ -379,6 +421,7 @@ func (mr *matcher) tokens(n *tree.Node, inOld bool) []string {
 // answers it.
 func (mr *matcher) leafValueEqual(x, y *tree.Node) bool {
 	mr.opts.Stats.LeafCompares++
+	mr.charge(1)
 	if mr.opts.DisableMemo {
 		return mr.valueWithinThreshold(x, y)
 	}
@@ -426,6 +469,7 @@ func (mr *matcher) equalInternal(x, y *tree.Node) bool {
 		if e, ok := mr.internalMemo[k]; ok && e.epoch == mr.leafEpoch {
 			mr.opts.Stats.InternalMemoHits++
 			mr.opts.Stats.PartnerChecks += e.charged
+			mr.charge(e.charged)
 			return e.result
 		}
 	}
@@ -463,6 +507,7 @@ func (mr *matcher) common(x, y *tree.Node) (count int, charged int64) {
 	}
 	mr.opts.Stats.PartnerChecks += charged
 	mr.opts.Stats.EffectivePartnerChecks += charged
+	mr.charge(charged)
 	return count, charged
 }
 

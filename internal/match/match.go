@@ -1,7 +1,9 @@
 package match
 
 import (
+	"ladiff/internal/fault"
 	"ladiff/internal/lcs"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -17,7 +19,15 @@ import (
 // Running time is O(n²c + mn) (Appendix B). Independent labels of equal
 // bottom-up rank are processed concurrently under Options.Parallelism;
 // the result is bit-identical to the sequential run (see parallel.go).
-func Match(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
+func Match(t1, t2 *tree.Tree, opts Options) (_ *Matching, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = lderr.Recovered("match", v)
+		}
+	}()
+	if err := fault.Check(fault.Match); err != nil {
+		return nil, err
+	}
 	mr, err := newMatcher(t1, t2, opts)
 	if err != nil {
 		return nil, err
@@ -74,7 +84,15 @@ func (mr *matcher) matchChainsQuadratic(s1, s2 []*tree.Node) {
 // FastMatch and Match return identical matchings (Theorem 5.2). When
 // Criterion 3 is violated FastMatch may return a sub-optimal (but still
 // valid) matching; see PostProcess for the §8 repair pass.
-func FastMatch(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
+func FastMatch(t1, t2 *tree.Tree, opts Options) (_ *Matching, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = lderr.Recovered("match", v)
+		}
+	}()
+	if err := fault.Check(fault.Match); err != nil {
+		return nil, err
+	}
 	mr, err := newMatcher(t1, t2, opts)
 	if err != nil {
 		return nil, err
@@ -125,7 +143,12 @@ func (mr *matcher) matchLabelFast(label tree.Label) {
 // after displacements. The pass removes the sub-optimalities that did not
 // propagate upward from lower levels. It returns the number of pairs
 // rewritten or added.
-func PostProcess(t1, t2 *tree.Tree, m *Matching, opts Options) (int, error) {
+func PostProcess(t1, t2 *tree.Tree, m *Matching, opts Options) (_ int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = lderr.Recovered("match", v)
+		}
+	}()
 	mr, err := newMatcher(t1, t2, opts)
 	if err != nil {
 		return 0, err

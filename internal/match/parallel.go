@@ -3,6 +3,7 @@ package match
 import (
 	"sync"
 
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -63,6 +64,14 @@ func (mr *matcher) runGroupParallel(group []tree.Label, process func(*matcher, t
 		wg.Add(1)
 		go func(sub *matcher, label tree.Label) {
 			defer wg.Done()
+			// A panic on a worker goroutine would crash the process before
+			// the entry-point recovery in Match/FastMatch could see it;
+			// contain it here and surface it through the error path.
+			defer func() {
+				if v := recover(); v != nil && sub.err == nil {
+					sub.err = lderr.Recovered("match", v)
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			process(sub, label)
@@ -74,10 +83,10 @@ func (mr *matcher) runGroupParallel(group []tree.Label, process func(*matcher, t
 	}
 }
 
-// fork returns a worker matcher that shares the trees, indexes, and base
-// matching read-only, and writes new pairs to a private overlay. Memo
-// maps, token caches, and stats are worker-private so no state is shared
-// mutably across goroutines.
+// fork returns a worker matcher that shares the trees, indexes, base
+// matching (read-only), and the run's work budget, and writes new pairs
+// to a private overlay. Memo maps, token caches, and stats are
+// worker-private so no state is shared mutably across goroutines.
 func (mr *matcher) fork() *matcher {
 	opts := mr.opts
 	opts.Stats = &Stats{}
@@ -91,6 +100,7 @@ func (mr *matcher) fork() *matcher {
 		words2:       make(map[tree.NodeID][]string),
 		leafMemo:     make(map[pairKey]bool),
 		internalMemo: make(map[pairKey]internalMemoEntry),
+		budget:       mr.budget,
 	}
 }
 

@@ -19,21 +19,24 @@ var Formats = []string{"latex", "html", "text", "xml", "json", "tree"}
 // document in the input format's own markup conventions.
 var Outputs = []string{"script", "delta", "marked"}
 
-// parseDoc parses src in the named format into a document tree.
-func parseDoc(format, src string) (*ladiff.Tree, error) {
+// parseDoc parses src in the named format into a document tree, with
+// lim enforced while the tree is built — a pathological document aborts
+// at the limit (ladiff.ErrLimit) instead of materializing a huge tree
+// that is measured afterwards.
+func parseDoc(format, src string, lim ladiff.ParseLimits) (*ladiff.Tree, error) {
 	switch format {
 	case "latex":
-		return ladiff.ParseLatex(src)
+		return ladiff.ParseLatexLimited(src, lim)
 	case "html":
-		return ladiff.ParseHTML(src)
+		return ladiff.ParseHTMLLimited(src, lim)
 	case "text":
-		return ladiff.ParseText(src), nil
+		return ladiff.ParseTextLimited(src, lim)
 	case "xml":
-		return ladiff.ParseXML(src)
+		return ladiff.ParseXMLLimited(src, lim)
 	case "json":
-		return ladiff.ParseJSON(src)
+		return ladiff.ParseJSONLimited(src, lim)
 	case "tree":
-		return ladiff.ParseTree(src)
+		return ladiff.ParseTreeLimited(src, lim)
 	default:
 		return nil, fmt.Errorf("unknown format %q (want one of %v)", format, Formats)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ladiff"
+	"ladiff/internal/fault"
 )
 
 // DiffRequest is the body of POST /v1/diff.
@@ -26,6 +27,12 @@ type DiffRequest struct {
 	// matching thresholds; zero keeps the defaults.
 	LeafThreshold     float64 `json:"leafThreshold,omitempty"`
 	InternalThreshold float64 `json:"internalThreshold,omitempty"`
+	// Matcher selects the matching algorithm: "fast" (default),
+	// "simple" (the quadratic Match), or "zs" (Zhang–Shasha best
+	// matching). Under a configured match work budget, "simple" and
+	// "zs" requests that exhaust the budget fall back to "fast" and the
+	// response is marked degraded.
+	Matcher string `json:"matcher,omitempty"`
 	// TimeoutMs bounds this request's processing time; zero means the
 	// server default, and values above the server maximum are clamped.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
@@ -51,6 +58,12 @@ type DiffResponse struct {
 	Delta    json.RawMessage `json:"delta,omitempty"`
 	Document string          `json:"document,omitempty"`
 	Stats    DiffStats       `json:"stats"`
+	// Degraded reports that the result was produced in a degraded mode
+	// (budget fallback to FastMatch, or the scan generator after an
+	// indexed-path failure); the script is still verified isomorphic to
+	// the new document. DegradedReasons says what was given up.
+	Degraded        bool     `json:"degraded,omitempty"`
+	DegradedReasons []string `json:"degradedReasons,omitempty"`
 }
 
 // PatchRequest is the body of POST /v1/patch: apply Script to Base
@@ -85,6 +98,16 @@ type errorDetail struct {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Chaos checkpoint for the response path: an injected error here
+	// turns into a 500, an injected panic is contained by recoverPanics.
+	if err := fault.Check(fault.ServerWrite); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{
+			Code: "internal", Message: "response write failed",
+		}})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
@@ -113,8 +136,8 @@ func (s *Server) beginRequest() bool {
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	buf := getBuf()
 	defer putBuf(buf)
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if _, err := buf.ReadFrom(r.Body); err != nil {
+	body := fault.Reader(fault.ServerRead, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if _, err := buf.ReadFrom(body); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.met.RejectedSize.Add(1)
@@ -167,27 +190,67 @@ func (s *Server) timeout(ms int) time.Duration {
 	return d
 }
 
-// failPipeline writes the response for a mid-pipeline error: 504 for a
-// deadline/cancellation, 500 otherwise.
+// failPipeline writes the response for a mid-pipeline error, mapped
+// through the error taxonomy: 504 for cancellation/deadline, 503 for a
+// work budget exhausted with no fallback left, 500 for internal errors
+// and anything unclassified.
 func (s *Server) failPipeline(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch ladiff.ErrorKind(err) {
+	case ladiff.ErrCanceled:
 		s.met.Timeouts.Add(1)
 		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
-		return
+	case ladiff.ErrDegraded:
+		s.met.Errors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "over_budget", err.Error())
+	default:
+		s.met.Errors.Add(1)
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
-	s.met.Errors.Add(1)
-	writeError(w, http.StatusInternalServerError, "internal", err.Error())
 }
 
-// checkTreeSize enforces the node-count limit on a parsed document.
-func (s *Server) checkTreeSize(w http.ResponseWriter, which string, t *ladiff.Tree) bool {
-	if t.Len() > s.cfg.MaxTreeNodes {
-		s.met.RejectedSize.Add(1)
-		writeError(w, http.StatusRequestEntityTooLarge, "tree_too_large",
-			fmt.Sprintf("%s document has %d nodes; limit is %d", which, t.Len(), s.cfg.MaxTreeNodes))
-		return false
+// parseLimits is the per-document limit set every parse runs under:
+// node and depth guards enforced while the tree is built. (Body bytes
+// are already capped by MaxBytesReader before parsing.)
+func (s *Server) parseLimits() ladiff.ParseLimits {
+	return ladiff.ParseLimits{
+		MaxNodes: s.cfg.MaxTreeNodes,
+		MaxDepth: s.cfg.MaxTreeDepth,
 	}
-	return true
+}
+
+// parseChecked parses one document under the server limits, writing the
+// appropriate error response on failure: 413 for a violated limit
+// (streaming enforcement — the parse stops at the limit), 400 for a
+// syntax error.
+func (s *Server) parseChecked(w http.ResponseWriter, which, format, src string) (*ladiff.Tree, bool) {
+	t, err := parseDoc(format, src, s.parseLimits())
+	if err != nil {
+		if errors.Is(err, ladiff.ErrLimit) {
+			s.met.RejectedSize.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "tree_too_large",
+				fmt.Sprintf("%s document: %s", which, err.Error()))
+			return nil, false
+		}
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "parse_error", which+" document: "+err.Error())
+		return nil, false
+	}
+	return t, true
+}
+
+// matcherFor maps the request's matcher name to the algorithm.
+func matcherFor(name string) (ladiff.Matcher, bool) {
+	switch name {
+	case "", "fast":
+		return ladiff.FastMatcher, true
+	case "simple":
+		return ladiff.SimpleMatcher, true
+	case "zs":
+		return ladiff.ZSMatcher, true
+	default:
+		return 0, false
+	}
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +282,13 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown output %q (want one of %v)", output, Outputs))
 		return
 	}
+	matcher, ok := matcherFor(req.Matcher)
+	if !ok {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown matcher %q (want fast, simple, or zs)", req.Matcher))
+		return
+	}
 
 	if !s.admit(w, r) {
 		return
@@ -239,35 +309,31 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		phaseMicros[phaseNames[p]] = d.Microseconds()
 	}
 
-	// Phase 1: parse. Parsers do not poll the context — they are linear
-	// in the input, which the body and node limits already bound.
+	// Phase 1: parse, with node/depth guards enforced during the parse.
+	// Parsers do not poll the context — they are linear in the input,
+	// which the body and streaming tree limits already bound.
 	t0 := time.Now()
-	oldT, err := parseDoc(req.Format, req.Old)
-	if err != nil {
-		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "parse_error", "old document: "+err.Error())
+	oldT, ok := s.parseChecked(w, "old", req.Format, req.Old)
+	if !ok {
 		return
 	}
-	newT, err := parseDoc(req.Format, req.New)
-	if err != nil {
-		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "parse_error", "new document: "+err.Error())
+	newT, ok := s.parseChecked(w, "new", req.Format, req.New)
+	if !ok {
 		return
 	}
 	observe(PhaseParse, time.Since(t0))
-	if !s.checkTreeSize(w, "old", oldT) || !s.checkTreeSize(w, "new", newT) {
-		return
-	}
 	s.met.OldNodes.Add(int64(oldT.Len()))
 	s.met.NewNodes.Add(int64(newT.Len()))
 
-	// Phase 2: match (context-bounded).
+	// Phase 2: match (context- and budget-bounded). A budgeted simple/zs
+	// run that exhausts the work budget degrades to FastMatch here.
 	t0 = time.Now()
-	m, err := ladiff.FindMatching(oldT, newT, ladiff.MatchOptions{
+	m, degradedReasons, err := ladiff.FindMatchingFor(oldT, newT, matcher, ladiff.MatchOptions{
 		Ctx:               ctx,
 		Parallelism:       s.cfg.MatchParallelism,
 		LeafThreshold:     req.LeafThreshold,
 		InternalThreshold: req.InternalThreshold,
+		WorkBudget:        s.cfg.MatchWorkBudget,
 	})
 	if err != nil {
 		s.failPipeline(w, err)
@@ -275,7 +341,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	observe(PhaseMatch, time.Since(t0))
 
-	// Phase 3: generate (context-bounded).
+	// Phase 3: generate (context-bounded; degrades to the scan
+	// generator if the indexed path fails its self-check).
 	t0 = time.Now()
 	res, err := ladiff.ComputeEditScriptWith(oldT, newT, m, ladiff.GenOptions{Ctx: ctx})
 	if err != nil {
@@ -283,6 +350,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	observe(PhaseGenerate, time.Since(t0))
+	if res.Degraded {
+		degradedReasons = append(degradedReasons, res.DegradedReasons...)
+	}
 
 	// Phase 4: render the requested output.
 	t0 = time.Now()
@@ -318,6 +388,11 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		Ops:         len(res.Script),
 		Cost:        ladiff.UnitCosts().Cost(res.Script),
 		PhaseMicros: phaseMicros,
+	}
+	if len(degradedReasons) > 0 {
+		resp.Degraded = true
+		resp.DegradedReasons = degradedReasons
+		s.met.Degraded.Add(1)
 	}
 	s.met.Diffs.Add(1)
 	s.met.RequestLatency.Observe(time.Since(start))
@@ -359,16 +434,11 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 
 	t0 := time.Now()
-	baseT, err := parseDoc(req.Format, req.Base)
-	if err != nil {
-		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "parse_error", "base document: "+err.Error())
+	baseT, ok := s.parseChecked(w, "base", req.Format, req.Base)
+	if !ok {
 		return
 	}
 	s.met.PhaseLatency[PhaseParse].Observe(time.Since(t0))
-	if !s.checkTreeSize(w, "base", baseT) {
-		return
-	}
 	if err := ctx.Err(); err != nil {
 		s.failPipeline(w, err)
 		return

@@ -36,6 +36,9 @@ var phaseNames = [numPhases]string{"parse", "match", "generate", "render"}
 //	timeouts_total            504s: per-request deadline expired mid-pipeline
 //	bad_requests_total        400s: malformed JSON, unknown format/output, parse errors
 //	errors_total              500s and 422s: pipeline or script-application failures
+//	panics_total              panics contained by the recovery middleware (each also a 500)
+//	degraded_total            successful responses served in a degraded mode (budget
+//	                          fallback to FastMatch, or scan-generator fallback)
 //	old_nodes_total/new_nodes_total  cumulative parsed node counts (workload volume)
 //	phase_us.<phase>          latency histogram of each *completed* phase —
 //	                          a request that dies mid-phase never records it,
@@ -53,6 +56,8 @@ type Metrics struct {
 	Timeouts         atomic.Int64
 	BadRequests      atomic.Int64
 	Errors           atomic.Int64
+	Panics           atomic.Int64
+	Degraded         atomic.Int64
 	OldNodes         atomic.Int64
 	NewNodes         atomic.Int64
 
@@ -153,6 +158,8 @@ type MetricsSnapshot struct {
 	TimeoutsTotal         int64                        `json:"timeouts_total"`
 	BadRequestsTotal      int64                        `json:"bad_requests_total"`
 	ErrorsTotal           int64                        `json:"errors_total"`
+	PanicsTotal           int64                        `json:"panics_total"`
+	DegradedTotal         int64                        `json:"degraded_total"`
 	OldNodesTotal         int64                        `json:"old_nodes_total"`
 	NewNodesTotal         int64                        `json:"new_nodes_total"`
 	PhaseUS               map[string]HistogramSnapshot `json:"phase_us"`
@@ -175,6 +182,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TimeoutsTotal:         m.Timeouts.Load(),
 		BadRequestsTotal:      m.BadRequests.Load(),
 		ErrorsTotal:           m.Errors.Load(),
+		PanicsTotal:           m.Panics.Load(),
+		DegradedTotal:         m.Degraded.Load(),
 		OldNodesTotal:         m.OldNodes.Load(),
 		NewNodesTotal:         m.NewNodes.Load(),
 		PhaseUS:               make(map[string]HistogramSnapshot, numPhases),

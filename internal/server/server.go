@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"ladiff/internal/lderr"
 )
 
 // Config tunes one Server. The zero value is usable: every field has a
@@ -29,9 +31,19 @@ type Config struct {
 	// MaxBodyBytes caps the request body; larger bodies get 413.
 	// 0 means 8 MiB.
 	MaxBodyBytes int64
-	// MaxTreeNodes caps the parsed size of either input document;
-	// larger trees get 413 after parsing. 0 means 200_000.
+	// MaxTreeNodes caps the parsed size of either input document,
+	// enforced while the tree is built; larger trees get 413 at the
+	// first node past the limit. 0 means 200_000.
 	MaxTreeNodes int
+	// MaxTreeDepth caps the depth of either input document, enforced
+	// while the tree is built; deeper trees get 413. 0 means 10_000.
+	MaxTreeDepth int
+	// MatchWorkBudget bounds the matching phase's logical work (§8
+	// r1+r2 units) per request. Budgeted "simple"/"zs" matcher requests
+	// that exhaust it fall back to FastMatch and are marked degraded;
+	// budgeted FastMatch exhaustion fails the request as over budget.
+	// 0 means unlimited.
+	MatchWorkBudget int64
 	// MatchParallelism is MatchOptions.Parallelism for every request.
 	// 0 means 1: under concurrent load, parallelism across requests
 	// beats parallelism within one.
@@ -58,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTreeNodes <= 0 {
 		c.MaxTreeNodes = 200_000
+	}
+	if c.MaxTreeDepth <= 0 {
+		c.MaxTreeDepth = 10_000
 	}
 	if c.MatchParallelism <= 0 {
 		c.MatchParallelism = 1
@@ -106,14 +121,60 @@ func New(cfg Config) *Server {
 func (s *Server) Metrics() *Metrics { return s.met }
 
 // Handler returns the service mux: the v1 API plus health and metrics,
-// wrapped in the access-log middleware.
+// wrapped in the panic-containment and access-log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("POST /v1/patch", s.handlePatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.accessLog(mux)
+	return s.accessLog(s.recoverPanics(mux))
+}
+
+// recoverPanics is the per-request panic containment layer: a panic
+// anywhere below it is converted into a 500 with the stack logged and
+// the Panics counter bumped — one bad request must never take the
+// daemon down. The engine entry points have their own recovery (panics
+// there surface as lderr.ErrInternal errors and never reach here); this
+// layer catches everything else: render code, handler logic, injected
+// chaos panics. http.ErrAbortHandler is re-raised — it is the sanctioned
+// way to abort a response, not a failure. The handler's own defers
+// (admission release, in-flight accounting) run during unwinding, so
+// counters stay coherent across a contained panic.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			err := lderr.Recovered("server", v)
+			s.met.Panics.Add(1)
+			s.log.Error("panic contained",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"err", err.Error(),
+				"stack", string(lderr.StackOf(err)),
+			)
+			// Best effort, written raw: this is the containment layer of
+			// last resort, so it must not route back through writeJSON
+			// (whose own chaos checkpoint may be what just panicked). If
+			// the handler already started the response body, the status
+			// is gone; appending an error envelope is still more
+			// diagnosable than silence. A secondary panic here (broken
+			// connection) is swallowed — the response is already lost.
+			func() {
+				defer func() { _ = recover() }()
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				_, _ = w.Write([]byte(`{"error":{"code":"internal","message":"internal server error"}}` + "\n"))
+			}()
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // DebugHandler returns the debug mux (net/http/pprof), meant for a

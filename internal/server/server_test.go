@@ -13,6 +13,7 @@ import (
 
 	"ladiff"
 	"ladiff/internal/gen"
+	"ladiff/internal/testleak"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -420,10 +421,17 @@ func TestDeadlineExceeded(t *testing.T) {
 }
 
 // TestGracefulDrain pins shutdown: in-flight requests finish, new ones
-// are refused with 503, /healthz flips unhealthy, and Shutdown returns
-// once the last request drains.
+// are refused with 503, /healthz flips unhealthy, Shutdown returns
+// once the last request drains, and no goroutine (handlers, drain
+// waiter, admission queue) outlives the server.
 func TestGracefulDrain(t *testing.T) {
-	s, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	// The leak check is registered before the test server starts so its
+	// deferred sweep runs after ts.Close tears the server down (defers
+	// run LIFO; newTestServer's t.Cleanup would close too late).
+	defer testleak.Check(t)()
+	s := New(Config{MaxConcurrent: 2, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
 	s.testGate = make(chan struct{})
 	req := DiffRequest{Old: diffPairs["text"][0], New: diffPairs["text"][1], Format: "text"}
 

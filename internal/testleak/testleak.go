@@ -1,0 +1,50 @@
+// Package testleak is a goroutine-leak check for tests of the serving
+// stack: servers that drain, clients that retry, chaos suites that
+// abort requests mid-flight. A leaked goroutine is the failure mode
+// that evades ordinary assertions — the test passes, the process just
+// quietly grows — so drain and chaos tests bracket themselves with
+// Check and fail if the goroutine count does not return to its
+// baseline.
+package testleak
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and returns a function to
+// defer: it waits (with a settle loop, since goroutine teardown is
+// asynchronous) for the count to return to the baseline, and fails the
+// test with a full stack dump if it does not within five seconds.
+//
+//	defer testleak.Check(t)()
+//
+// The settle loop also closes the default HTTP client's idle
+// connections: keep-alive conns park a readLoop/writeLoop goroutine
+// pair per connection, which is pooling, not leaking.
+func Check(tb testing.TB) func() {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			http.DefaultClient.CloseIdleConnections()
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		tb.Errorf("goroutine leak: %d at start, %d after settle; all stacks:\n%s",
+			before, after, buf[:n])
+	}
+}

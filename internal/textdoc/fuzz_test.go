@@ -1,0 +1,55 @@
+package textdoc_test
+
+import (
+	"errors"
+	"testing"
+
+	"ladiff/internal/lderr"
+	"ladiff/internal/textdoc"
+	"ladiff/internal/tree"
+)
+
+// FuzzParse feeds arbitrary input to the plain-text parser: it accepts
+// everything, so it must never panic, always yield a valid tree, and
+// survive a render/re-parse round trip; the streaming limit guard must
+// hold under the same inputs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"One sentence.",
+		"One. Two! Three?",
+		"Para one.\n\nPara two.",
+		"Line one\nline two of same para.",
+		"\n\n\n",
+		"Windows\r\nline endings.\r\n\r\nSecond para.",
+		"no terminal punctuation",
+		"e.g. an abbreviation. Next sentence.",
+		"   leading and trailing   ",
+		"unicode: héllo wörld. ¿Qué tal?",
+		"a.b.c...",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := textdoc.Parse(src)
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("parsed tree invalid: %v\ninput: %q", err, src)
+		}
+		rendered := textdoc.Render(doc)
+		back := textdoc.Parse(rendered)
+		if !tree.Isomorphic(doc, back) {
+			t.Fatalf("render round trip not isomorphic\ninput: %q\nrendered: %q", src, rendered)
+		}
+		lim, err := textdoc.ParseLimited(src, tree.Limits{MaxNodes: 4, MaxDepth: 3})
+		if err != nil {
+			if !errors.Is(err, lderr.ErrLimit) {
+				t.Fatalf("limited parse failed without ErrLimit: %v\ninput: %q", err, src)
+			}
+			return
+		}
+		if lim.Len() > 4 {
+			t.Fatalf("limited parse built %d nodes past MaxNodes=4\ninput: %q", lim.Len(), src)
+		}
+	})
+}

@@ -7,16 +7,45 @@ package textdoc
 import (
 	"strings"
 
+	"ladiff/internal/fault"
 	"ladiff/internal/gen"
 	"ladiff/internal/latex"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
 // Parse converts plain text into a document tree: the root is a document
 // node, each blank-line-separated block a paragraph, each sentence a
 // leaf. Sentence splitting follows the same rules as the LaTeX front end.
+// Plain text cannot be malformed, so Parse never fails; ParseLimited is
+// the variant with resource limits (which can).
 func Parse(src string) *tree.Tree {
-	t := tree.NewWithRoot(gen.LabelDocument, "")
+	t, err := ParseLimited(src, tree.Limits{})
+	if err != nil {
+		// Only fault injection can fail an unlimited text parse; surface
+		// it the way an injected panic would be.
+		panic(err)
+	}
+	return t
+}
+
+// ParseLimited is Parse with resource limits enforced while the tree is
+// built: MaxBytes against the raw input up front, MaxNodes/MaxDepth at
+// the first node past the limit. Limit violations are tagged
+// lderr.ErrLimit.
+func ParseLimited(src string, lim tree.Limits) (_ *tree.Tree, err error) {
+	defer func() { err = lderr.TagAs(lderr.ErrParse, err) }()
+	if err := fault.Check(fault.ParseText); err != nil {
+		return nil, err
+	}
+	if err := lim.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	defer tree.CatchLimit(&err)
+	t := tree.New()
+	t.Restrict(lim)
+	defer t.Unrestrict()
+	t.SetRoot(gen.LabelDocument, "")
 	for _, block := range strings.Split(normalizeNewlines(src), "\n\n") {
 		sentences := latex.SplitSentences(block)
 		if len(sentences) == 0 {
@@ -27,7 +56,7 @@ func Parse(src string) *tree.Tree {
 			t.AppendChild(para, gen.LabelSentence, s)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Render converts a document tree back to plain text: paragraphs

@@ -1,0 +1,128 @@
+package tree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ladiff/internal/lderr"
+)
+
+func TestCheckBytes(t *testing.T) {
+	if err := (Limits{}).CheckBytes(1 << 30); err != nil {
+		t.Errorf("unlimited: %v", err)
+	}
+	if err := (Limits{MaxBytes: 10}).CheckBytes(10); err != nil {
+		t.Errorf("at the limit: %v", err)
+	}
+	err := (Limits{MaxBytes: 10}).CheckBytes(11)
+	if err == nil {
+		t.Fatal("over the limit accepted")
+	}
+	if !errors.Is(err, lderr.ErrLimit) {
+		t.Error("byte violation not tagged ErrLimit")
+	}
+}
+
+// deepTree is a linear chain of n tree-format nodes, depth n+1 under
+// the root.
+func deepTree(n int) string {
+	var b strings.Builder
+	b.WriteString("doc\n")
+	for i := 0; i < n; i++ {
+		b.WriteString(strings.Repeat("  ", i+1))
+		b.WriteString("x\n")
+	}
+	return b.String()
+}
+
+func TestParseLimitedNodes(t *testing.T) {
+	src := "doc\n  a\n  b\n  c\n"
+	if _, err := ParseLimited(src, Limits{MaxNodes: 4}); err != nil {
+		t.Errorf("exactly at MaxNodes: %v", err)
+	}
+	_, err := ParseLimited(src, Limits{MaxNodes: 3})
+	if err == nil {
+		t.Fatal("5th node admitted past MaxNodes=3")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "nodes" {
+		t.Fatalf("err = %v, want a nodes LimitError", err)
+	}
+	if !errors.Is(err, lderr.ErrLimit) {
+		t.Error("node violation not tagged ErrLimit")
+	}
+	// The streaming guard fires at the first node past the limit: the
+	// count it reports is limit+1, not the input's total.
+	if le.N != 4 {
+		t.Errorf("guard fired at node %d, want 4 (streaming enforcement)", le.N)
+	}
+}
+
+func TestParseLimitedDepth(t *testing.T) {
+	src := deepTree(5)
+	if _, err := ParseLimited(src, Limits{MaxDepth: 6}); err != nil {
+		t.Errorf("exactly at MaxDepth: %v", err)
+	}
+	_, err := ParseLimited(src, Limits{MaxDepth: 3})
+	if err == nil {
+		t.Fatal("depth-7 tree admitted past MaxDepth=3")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "depth" {
+		t.Fatalf("err = %v, want a depth LimitError", err)
+	}
+}
+
+func TestParseLimitedBytes(t *testing.T) {
+	_, err := ParseLimited("doc\n  a\n", Limits{MaxBytes: 3})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "bytes" {
+		t.Fatalf("err = %v, want a bytes LimitError", err)
+	}
+}
+
+func TestParseLimitedZeroIsUnlimited(t *testing.T) {
+	t1, err := Parse(deepTree(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ParseLimited(deepTree(40), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Isomorphic(t1, t2) {
+		t.Error("ParseLimited with zero limits differs from Parse")
+	}
+}
+
+func TestUnrestrictLiftsGuard(t *testing.T) {
+	// A tree that passed its parse-time limits must accept later growth
+	// (edit-script application) without the guard interfering.
+	tr, err := ParseLimited("doc\n  a\n", Limits{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			t.Fatalf("growth after parse hit a stale guard: %v", v)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		tr.AppendChild(tr.Root(), "extra", "")
+	}
+}
+
+func TestCatchLimitRethrowsForeignPanics(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "unrelated" {
+			t.Fatalf("recovered %v, want the foreign panic re-raised", v)
+		}
+	}()
+	var err error
+	func() {
+		defer CatchLimit(&err)
+		panic("unrelated")
+	}()
+	t.Fatal("foreign panic was swallowed")
+}

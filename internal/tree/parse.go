@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"ladiff/internal/fault"
+	"ladiff/internal/lderr"
 )
 
 // Parse reads the indented text format produced by Tree.String:
@@ -19,7 +22,27 @@ import (
 // accepted and ignored: parsed trees get fresh identifiers, matching the
 // paper's position that identifiers are generated, not part of the data.
 func Parse(src string) (*Tree, error) {
+	return ParseLimited(src, Limits{})
+}
+
+// ParseLimited is Parse with resource limits enforced while the tree is
+// built: MaxBytes is checked against the raw input up front, and
+// MaxNodes/MaxDepth abort the parse at the first node past the limit
+// rather than after the whole tree has materialized. Errors are tagged
+// for the lderr taxonomy: syntax failures as ErrParse, limit violations
+// as ErrLimit.
+func ParseLimited(src string, lim Limits) (_ *Tree, err error) {
+	defer func() { err = lderr.TagAs(lderr.ErrParse, err) }()
+	if err := fault.Check(fault.ParseTree); err != nil {
+		return nil, err
+	}
+	if err := lim.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	defer CatchLimit(&err)
 	t := New()
+	t.Restrict(lim)
+	defer t.Unrestrict()
 	// stack[d] is the most recent node seen at depth d.
 	var stack []*Node
 	lineNo := 0

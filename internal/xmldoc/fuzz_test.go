@@ -1,0 +1,69 @@
+package xmldoc_test
+
+import (
+	"errors"
+	"testing"
+
+	"ladiff/internal/lderr"
+	"ladiff/internal/tree"
+	"ladiff/internal/xmldoc"
+)
+
+// FuzzParse feeds arbitrary input to the XML parser: it must never
+// panic, accepted inputs must yield valid trees, parsing must be
+// deterministic, and the streaming limit guard must hold under the
+// same inputs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<doc/>",
+		"<doc><item>alpha</item></doc>",
+		"<doc><a><b><c>deep</c></b></a></doc>",
+		"<doc attr=\"v\">text</doc>",
+		"<doc>x<child/>y</doc>",
+		"<doc>&amp;&lt;&gt;</doc>",
+		"<?xml version=\"1.0\"?><doc/>",
+		"<!-- comment --><doc/>",
+		"<doc><![CDATA[raw < text]]></doc>",
+		"<doc",
+		"<doc></mismatch>",
+		"<a/><b/>",
+		"<doc xmlns:x=\"u\"><x:e/></doc>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := xmldoc.Parse(src)
+		if err != nil {
+			// Every rejection must carry the parse taxonomy tag.
+			if lderr.KindOf(err) != lderr.ErrParse {
+				t.Fatalf("rejection not tagged ErrParse: %v\ninput: %q", err, src)
+			}
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("accepted tree invalid: %v\ninput: %q", err, src)
+		}
+		again, err := xmldoc.Parse(src)
+		if err != nil {
+			t.Fatalf("second parse rejected accepted input: %v\ninput: %q", err, src)
+		}
+		if !tree.Isomorphic(doc, again) {
+			t.Fatalf("parse is not deterministic\ninput: %q", src)
+		}
+		// The guard enforces limits during the parse: a tight node cap
+		// must either still accept (small tree) or reject with ErrLimit,
+		// never panic or over-build.
+		lim, err := xmldoc.ParseLimited(src, tree.Limits{MaxNodes: 4, MaxDepth: 3})
+		if err != nil {
+			if !errors.Is(err, lderr.ErrLimit) {
+				t.Fatalf("limited parse failed without ErrLimit: %v\ninput: %q", err, src)
+			}
+			return
+		}
+		if lim.Len() > 4 {
+			t.Fatalf("limited parse built %d nodes past MaxNodes=4\ninput: %q", lim.Len(), src)
+		}
+	})
+}

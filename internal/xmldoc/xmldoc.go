@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strings"
 
+	"ladiff/internal/fault"
+	"ladiff/internal/lderr"
 	"ladiff/internal/tree"
 )
 
@@ -32,8 +34,28 @@ const TextLabel tree.Label = "#text"
 // Parse converts an XML document into a tree. The input must have a
 // single root element.
 func Parse(src string) (*tree.Tree, error) {
-	dec := xml.NewDecoder(strings.NewReader(src))
+	return ParseLimited(src, tree.Limits{})
+}
+
+// ParseLimited is Parse with resource limits enforced while the tree is
+// built: MaxBytes against the raw input up front, MaxNodes/MaxDepth at
+// the first node past the limit — the decoder streams tokens, so a
+// pathological document aborts at the limit instead of materializing.
+// Errors are tagged for the lderr taxonomy: syntax failures as ErrParse,
+// limit violations as ErrLimit.
+func ParseLimited(src string, lim tree.Limits) (_ *tree.Tree, err error) {
+	defer func() { err = lderr.TagAs(lderr.ErrParse, err) }()
+	if err := fault.Check(fault.ParseXML); err != nil {
+		return nil, err
+	}
+	if err := lim.CheckBytes(len(src)); err != nil {
+		return nil, err
+	}
+	defer tree.CatchLimit(&err)
+	dec := xml.NewDecoder(fault.Reader(fault.ParseXML, strings.NewReader(src)))
 	t := tree.New()
+	t.Restrict(lim)
+	defer t.Unrestrict()
 	var stack []*tree.Node
 	for {
 		tok, err := dec.Token()

@@ -10,12 +10,43 @@ import (
 	"ladiff/internal/htmldoc"
 	"ladiff/internal/jsondoc"
 	"ladiff/internal/latex"
+	"ladiff/internal/lderr"
 	"ladiff/internal/match"
 	"ladiff/internal/textdoc"
 	"ladiff/internal/tree"
 	"ladiff/internal/xmldoc"
 	"ladiff/internal/zs"
 )
+
+// Error taxonomy. Every failure surfaced by this package's entry points
+// is classified into one of these kinds; test with errors.Is. ErrorKind
+// classifies an arbitrary error (nil for unclassified).
+var (
+	// ErrParse: an input document failed to parse (caller's data).
+	ErrParse = lderr.ErrParse
+	// ErrLimit: an input exceeded a configured size/depth/node limit.
+	ErrLimit = lderr.ErrLimit
+	// ErrCanceled: the run's context was cancelled or timed out.
+	ErrCanceled = lderr.ErrCanceled
+	// ErrDegraded: a work budget was exhausted with no cheaper fallback
+	// remaining (exhaustion that could fall back surfaces as a Degraded
+	// result, not an error).
+	ErrDegraded = lderr.ErrDegraded
+	// ErrInternal: a broken invariant — a recovered panic or a failed
+	// self-check. Never the caller's fault.
+	ErrInternal = lderr.ErrInternal
+)
+
+// ErrorKind classifies err into one of the Err* sentinels above, or nil
+// when the error carries no classification (including err == nil).
+func ErrorKind(err error) error { return lderr.KindOf(err) }
+
+// ParseLimits bounds what a parser may build; the zero value is
+// unlimited. MaxBytes applies to the raw input; MaxNodes and MaxDepth
+// are enforced while the tree is built, so pathological inputs abort at
+// the limit instead of materializing first. Violations are
+// ErrLimit-tagged.
+type ParseLimits = tree.Limits
 
 // Core data types, re-exported from the implementation packages so the
 // whole API is reachable through this package.
@@ -135,6 +166,20 @@ func FindMatching(old, new *Tree, opts MatchOptions) (*Matching, error) {
 	return match.FastMatch(old, new, opts)
 }
 
+// Matcher selects the Good Matching algorithm (Options.Matcher,
+// FindMatchingFor).
+type Matcher = core.Matcher
+
+// FindMatchingFor runs the selected matcher with the same degradation
+// ladder Diff uses: a budgeted SimpleMatcher or ZSMatcher run that
+// exhausts MatchOptions.WorkBudget is recomputed with the cheap
+// FastMatch, unbudgeted; the returned reasons record the fallback
+// (empty for a clean run). FastMatch exhaustion has no cheaper fallback
+// and returns an ErrDegraded-tagged error.
+func FindMatchingFor(old, new *Tree, matcher Matcher, opts MatchOptions) (*Matching, []string, error) {
+	return core.MatchWithFallback(old, new, matcher, opts)
+}
+
 // NewMatching returns an empty matching for callers that construct
 // correspondences from their own identifiers.
 func NewMatching() *Matching { return match.NewMatching() }
@@ -153,6 +198,39 @@ func NewTreeWithRoot(label Label, value string) *Tree {
 
 // ParseTree reads the indented text format produced by (*Tree).String.
 func ParseTree(src string) (*Tree, error) { return tree.Parse(src) }
+
+// ParseTreeLimited is ParseTree with ParseLimits enforced during the
+// parse. All Parse*Limited variants tag their errors for the taxonomy:
+// syntax failures as ErrParse, limit violations as ErrLimit.
+func ParseTreeLimited(src string, lim ParseLimits) (*Tree, error) {
+	return tree.ParseLimited(src, lim)
+}
+
+// ParseLatexLimited is ParseLatex with ParseLimits enforced.
+func ParseLatexLimited(src string, lim ParseLimits) (*Tree, error) {
+	return latex.ParseLimited(src, lim)
+}
+
+// ParseHTMLLimited is ParseHTML with ParseLimits enforced.
+func ParseHTMLLimited(src string, lim ParseLimits) (*Tree, error) {
+	return htmldoc.ParseLimited(src, lim)
+}
+
+// ParseTextLimited is ParseText with ParseLimits enforced (the only way
+// a plain-text parse can fail).
+func ParseTextLimited(src string, lim ParseLimits) (*Tree, error) {
+	return textdoc.ParseLimited(src, lim)
+}
+
+// ParseXMLLimited is ParseXML with ParseLimits enforced.
+func ParseXMLLimited(src string, lim ParseLimits) (*Tree, error) {
+	return xmldoc.ParseLimited(src, lim)
+}
+
+// ParseJSONLimited is ParseJSON with ParseLimits enforced.
+func ParseJSONLimited(src string, lim ParseLimits) (*Tree, error) {
+	return jsondoc.ParseLimited(src, lim)
+}
 
 // Isomorphic reports whether two trees are identical up to node
 // identifiers (§3.1).
