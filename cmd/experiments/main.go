@@ -25,10 +25,12 @@ func main() {
 	perfOut := flag.String("perfout", "BENCH_matching.json", "output path for the matchperf report")
 	editPerfOut := flag.String("editperfout", "BENCH_editscript.json", "output path for the editperf report")
 	servOut := flag.String("servout", "BENCH_serving.json", "output path for the servperf report")
+	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the obsperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
 	servPerfOutPath = *servOut
+	obsPerfOutPath = *obsOut
 
 	all := []struct {
 		name string
@@ -45,6 +47,7 @@ func main() {
 		{"matchperf", runMatchPerf},
 		{"editperf", runEditPerf},
 		{"servperf", runServPerf},
+		{"obsperf", runObsPerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -345,6 +348,34 @@ func runServPerf() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", servPerfOutPath)
+	fmt.Println()
+	return nil
+}
+
+// obsPerfOutPath is where runObsPerf writes BENCH_obs.json.
+var obsPerfOutPath = "BENCH_obs.json"
+
+func runObsPerf() error {
+	report, err := bench.CollectObsPerf(15)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E12: observability overhead — disabled vs armed vs fully traced ==")
+	fmt.Println("   (full core.Diff pipeline on the medium pair; script length is pinned")
+	fmt.Println("    across states because the obs layer is strictly passive)")
+	var rows [][]string
+	for _, r := range report.Runs {
+		rows = append(rows, []string{
+			r.Name, fmt.Sprintf("%.2f", float64(r.NsPerOp)/1e6), fmt.Sprint(r.Ops),
+		})
+	}
+	fmt.Print(bench.FormatTable([]string{"state", "ms/op", "script ops"}, rows))
+	fmt.Printf("armed overhead: %.2f%%, traced overhead: %.2f%% (target <2%%)\n",
+		report.ArmedOverheadPct, report.TracedOverheadPct)
+	if err := report.WriteObsPerf(obsPerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", obsPerfOutPath)
 	fmt.Println()
 	return nil
 }

@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +47,7 @@ import (
 
 	"ladiff"
 	"ladiff/internal/cli"
+	"ladiff/internal/obs"
 )
 
 func main() {
@@ -57,6 +59,7 @@ func main() {
 	level := flag.Int("level", -1, "optimality level A(k), 0..3; -1 = plain pipeline")
 	query := flag.String("query", "", "delta query expression for -out query")
 	jsonOut := flag.Bool("json", false, "emit the delta tree as JSON in the ladiffd wire format (overrides -out)")
+	trace := flag.Bool("trace", false, "print the engine span tree (phase timings and work counters) to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ladiff [flags] OLD NEW\n")
 		flag.PrintDefaults()
@@ -66,35 +69,68 @@ func main() {
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query, *jsonOut); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query, *jsonOut, *trace); err != nil {
 		fmt.Fprintf(os.Stderr, "ladiff: %v\n", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string, jsonOut bool) error {
+func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string, jsonOut, trace bool) error {
+	// -trace arms the observability layer for this process and hangs
+	// the whole run under one trace; the span tree (parse, match
+	// rounds, generation phases, serialize) prints to stderr at the
+	// end, with stdout left untouched for the diff output.
+	var (
+		tr  *obs.Trace
+		ctx context.Context
+	)
+	if trace {
+		defer obs.Activate(obs.Config{})()
+		tr, ctx = obs.StartTrace(context.Background(), "ladiff", "cli")
+		defer func() {
+			tr.Finish()
+			fmt.Fprint(os.Stderr, obs.RenderText(tr.Snapshot().Root))
+		}()
+	}
+
 	resolved := format
 	if resolved == "" {
 		resolved = formatByExt(oldPath)
 	}
+	_, psp := obs.StartSpan(ctx, "parse")
+	psp.Str("format", resolved)
 	oldT, err := load(oldPath, resolved)
 	if err != nil {
+		psp.End()
 		return cli.ParseError(err)
 	}
 	newT, err := load(newPath, resolved)
 	if err != nil {
+		psp.End()
 		return cli.ParseError(err)
 	}
+	psp.Int("old_nodes", int64(oldT.Len()))
+	psp.Int("new_nodes", int64(newT.Len()))
+	psp.End()
+
 	stats := &ladiff.MatchStats{}
 	mopts := ladiff.MatchOptions{InternalThreshold: t, LeafThreshold: f, Stats: stats}
 	var res *ladiff.Result
 	if level >= 0 {
+		mopts.Ctx = ctx
 		res, err = ladiff.DiffAtLevel(oldT, newT, ladiff.OptimalityLevel(level), mopts)
 	} else {
-		res, err = ladiff.Diff(oldT, newT, ladiff.Options{PostProcess: post, Match: mopts})
+		res, err = ladiff.Diff(oldT, newT, ladiff.Options{PostProcess: post, Match: mopts, Ctx: ctx})
 	}
 	if err != nil {
 		return cli.PipelineError(err)
+	}
+	_, ssp := obs.StartSpan(ctx, "serialize")
+	defer ssp.End()
+	if jsonOut {
+		ssp.Str("out", "json")
+	} else {
+		ssp.Str("out", out)
 	}
 	if jsonOut {
 		dt, err := ladiff.BuildDelta(res)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ladiff/internal/fault"
+	"ladiff/internal/obs"
 	"ladiff/internal/server"
 )
 
@@ -35,9 +36,15 @@ func main() {
 	parallelism := flag.Int("match-parallelism", 0, "matcher parallelism per request (0 = 1; serve many requests, not one)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	faultSpec := flag.String("fault", "", "arm fault injection: point:mode[:p=P][:delay=D][:bytes=N][,...][;seed=S] (chaos testing only)")
+	obsOn := flag.Bool("obs", true, "arm the observability layer: request traces, engine gauges, pprof labels")
+	obsTraces := flag.Int("obs-traces", obs.DefaultRingCapacity, "how many slowest/errored request traces the /debug/traces ring retains")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *obsOn {
+		defer obs.Activate(obs.Config{Ring: obs.NewRing(*obsTraces)})()
+		logger.Info("observability armed", "trace_ring", *obsTraces)
+	}
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec)
 		if err != nil {

@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ladiff/internal/obs"
 )
 
 // ErrCircuitOpen is returned without any network I/O while the circuit
@@ -254,9 +256,13 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 		c.report(false) // caller bug, not a server failure
 		return fmt.Errorf("client: encoding request: %w", err)
 	}
+	// One request id for the whole logical request: every retry of it
+	// carries the same X-Request-Id, so server traces and access logs
+	// for the attempts correlate.
+	id := obs.NewRequestID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.attempt(ctx, path, payload, out)
+		lastErr = c.attempt(ctx, path, id, payload, out)
 		if lastErr == nil {
 			c.report(false)
 			return nil
@@ -286,7 +292,7 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 }
 
 // attempt runs one HTTP round trip under the per-attempt deadline.
-func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, path, id string, payload []byte, out any) error {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost,
@@ -295,6 +301,7 @@ func (c *Client) attempt(ctx context.Context, path string, payload []byte, out a
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return err

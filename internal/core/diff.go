@@ -8,6 +8,7 @@ import (
 	"ladiff/internal/edit"
 	"ladiff/internal/lderr"
 	"ladiff/internal/match"
+	"ladiff/internal/obs"
 	"ladiff/internal/tree"
 	"ladiff/internal/zs"
 )
@@ -110,7 +111,48 @@ func Diff(old, new *tree.Tree, opts Options) (_ *Result, err error) {
 // reasons slice records the fallback (empty for a clean run). FastMatch
 // itself has no cheaper fallback, so its budget exhaustion propagates
 // as an error.
+//
+// When observability is armed and opts.Ctx carries a trace, the run is
+// wrapped in a "match" span whose attributes are read from the Stats
+// counters after the fact — the instrumentation never touches the
+// matching itself, so traced and untraced runs are bit-identical (the
+// trace-invariance battery pins this).
 func MatchWithFallback(old, new *tree.Tree, matcher Matcher, opts match.Options) (*match.Matching, []string, error) {
+	mctx, sp := obs.StartSpan(opts.Ctx, "match")
+	if sp == nil {
+		return matchWithFallback(old, new, matcher, opts)
+	}
+	opts.Ctx = mctx
+	if opts.Stats == nil {
+		opts.Stats = &match.Stats{}
+	}
+	pre := *opts.Stats
+	m, reasons, err := matchWithFallback(old, new, matcher, opts)
+	s := *opts.Stats
+	sp.Int("r1_leaf_compares", s.LeafCompares-pre.LeafCompares)
+	sp.Int("r2_partner_checks", s.PartnerChecks-pre.PartnerChecks)
+	sp.Int("effective_leaf_compares", s.EffectiveLeafCompares-pre.EffectiveLeafCompares)
+	sp.Int("effective_partner_checks", s.EffectivePartnerChecks-pre.EffectivePartnerChecks)
+	memoHits := (s.LeafMemoHits - pre.LeafMemoHits) + (s.InternalMemoHits - pre.InternalMemoHits)
+	sp.Int("memo_hits", memoHits)
+	if m != nil {
+		sp.Int("pairs", int64(m.Len()))
+	}
+	for _, r := range reasons {
+		sp.Str("degraded", r)
+	}
+	if err != nil {
+		sp.Str("error", err.Error())
+	}
+	sp.End()
+	obs.MatchMemoHits.Add(memoHits)
+	if len(reasons) > 0 {
+		obs.MatchFallbacks.Add(1)
+	}
+	return m, reasons, err
+}
+
+func matchWithFallback(old, new *tree.Tree, matcher Matcher, opts match.Options) (*match.Matching, []string, error) {
 	var (
 		m    *match.Matching
 		name string

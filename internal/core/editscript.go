@@ -36,6 +36,7 @@ import (
 	"ladiff/internal/lcs"
 	"ladiff/internal/lderr"
 	"ladiff/internal/match"
+	"ladiff/internal/obs"
 	"ladiff/internal/tree"
 )
 
@@ -193,6 +194,35 @@ func EditScript(t1, t2 *tree.Tree, m *match.Matching) (*Result, error) {
 // retried once on the reference scan generator of Figure 9, and the
 // retried result is marked Degraded. Cancellation is never retried.
 func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Result, error) {
+	gctx, sp := obs.StartSpan(opts.Ctx, "generate")
+	if sp != nil {
+		opts.Ctx = gctx
+	}
+	res, err := editScriptDegradable(t1, t2, m, opts)
+	if sp != nil {
+		if res != nil {
+			w := res.Work
+			sp.Int("visits", w.Visits)
+			sp.Int("align_equals", w.AlignEquals)
+			sp.Int("pos_scans", w.PosScans)
+			sp.Int("ops", w.Ops)
+			sp.Int("effective_pos_scans", w.EffectivePosScans)
+			sp.Int("effective_align_equals", w.EffectiveAlignEquals)
+			for _, r := range res.DegradedReasons {
+				sp.Str("degraded", r)
+			}
+		}
+		if err != nil {
+			sp.Str("error", err.Error())
+		}
+		sp.End()
+	}
+	return res, err
+}
+
+// editScriptDegradable is EditScriptWith minus the tracing shell: the
+// run plus its indexed-path degradation ladder.
+func editScriptDegradable(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Result, error) {
 	if t1 == nil || t2 == nil || t1.Root() == nil || t2.Root() == nil {
 		return nil, errors.New("core: EditScript requires two non-empty trees")
 	}
@@ -205,6 +235,9 @@ func EditScriptWith(t1, t2 *tree.Tree, m *match.Matching, opts GenOptions) (*Res
 	}
 	// Indexed-path failure: degrade to the scan generator. If the retry
 	// fails too, the failure is real — report the original error.
+	if obs.Enabled() {
+		obs.GenIndexFallbacks.Add(1)
+	}
 	scanOpts := opts
 	scanOpts.DisableIndex = true
 	res, retryErr := editScriptRun(t1, t2, m, scanOpts)
@@ -318,9 +351,28 @@ type generator struct {
 }
 
 // run executes the combined breadth-first phase and the delete phase.
+// Each phase carries its own span when the run is traced; attributes
+// are the per-kind operation counts, read after the phase completes.
 func (g *generator) run() error {
-	// Phase 1–4: update, align, insert, move, in one breadth-first scan
-	// of the new tree (Figure 8 step 2).
+	if err := g.bfsPhase(); err != nil {
+		return err
+	}
+	return g.deletePhase()
+}
+
+// bfsPhase is Figure 8 step 2: update, align, insert, move, in one
+// breadth-first scan of the new tree.
+func (g *generator) bfsPhase() (err error) {
+	_, sp := obs.StartSpan(g.opts.Ctx, "update-align-insert-move")
+	defer func() {
+		sp.Int("updates", int64(len(g.result.UpdatedOld)))
+		sp.Int("inserts", int64(len(g.result.InsertedNew)))
+		sp.Int("moves", int64(len(g.result.MovedOld)))
+		if err != nil {
+			sp.Str("error", err.Error())
+		}
+		sp.End()
+	}()
 	for _, x := range g.new.BreadthFirst() {
 		g.result.Work.Visits++
 		if err := g.pollCtx(); err != nil {
@@ -407,11 +459,22 @@ func (g *generator) run() error {
 			return err
 		}
 	}
+	return nil
+}
 
-	// Phase 5: delete, in a post-order scan of the working tree (Figure 8
-	// step 3). The snapshot is taken up front; every unmatched node's
-	// descendants are also unmatched by this point, so each node is a
-	// leaf by the time its DEL is emitted.
+// deletePhase is Figure 8 step 3: delete, in a post-order scan of the
+// working tree. The snapshot is taken up front; every unmatched
+// node's descendants are also unmatched by this point, so each node
+// is a leaf by the time its DEL is emitted.
+func (g *generator) deletePhase() (err error) {
+	_, sp := obs.StartSpan(g.opts.Ctx, "delete")
+	defer func() {
+		sp.Int("deletes", int64(len(g.result.DeletedOld)))
+		if err != nil {
+			sp.Str("error", err.Error())
+		}
+		sp.End()
+	}()
 	for _, w := range g.work.PostOrder() {
 		g.result.Work.Visits++
 		if err := g.pollCtx(); err != nil {

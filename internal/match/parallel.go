@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ladiff/internal/lderr"
+	"ladiff/internal/obs"
 	"ladiff/internal/tree"
 )
 
@@ -34,20 +35,32 @@ import (
 // boundary; the in-flight rounds unwind through the refusing equality
 // checks.
 func (mr *matcher) rounds(process func(*matcher, tree.Label)) {
-	for _, group := range labelRankGroups(mr.t1, mr.t2) {
+	for rank, group := range labelRankGroups(mr.t1, mr.t2) {
 		if mr.checkCtxNow() {
 			return
 		}
+		// One span per rank round (coarse: never per node, so the
+		// disabled path pays one atomic load per round). The span is
+		// passive — attributes describe the round, nothing reads them
+		// back — so traced and untraced runs match bit for bit.
+		_, sp := obs.StartSpan(mr.opts.Ctx, "round")
+		sp.Int("rank", int64(rank))
+		sp.Int("labels", int64(len(group)))
 		if mr.opts.Parallelism <= 1 || len(group) < 2 || !mr.groupIndependent(group) {
+			sp.Str("mode", "sequential")
 			for _, label := range group {
 				if mr.checkCtxNow() {
+					sp.End()
 					return
 				}
 				process(mr, label)
 			}
+			sp.End()
 			continue
 		}
+		sp.Str("mode", "parallel")
 		mr.runGroupParallel(group, process)
+		sp.End()
 	}
 }
 

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring retains the N highest-priority finished traces, where priority
+// is "errored first, then slowest". It is lock-free: each slot is an
+// atomic trace pointer, an Offer scans for the lowest-priority slot
+// and CASes its trace in, and a failed CAS means another Offer made
+// progress — the loser rescans. Per-slot priorities only ever
+// increase (a CAS replaces exactly the compared trace with a
+// higher-priority one), so the global minimum is monotone and the
+// retained set converges to the true top N of everything offered.
+//
+// Accounting is exactly-once: every Offer increments offered and then
+// exactly one of kept or dropped; every successful replacement of a
+// non-empty slot increments evicted. The chaos tests pin the
+// invariants offered == kept+dropped and kept-evicted == len(slots in
+// use).
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+
+	offered atomic.Int64
+	kept    atomic.Int64
+	dropped atomic.Int64
+	evicted atomic.Int64
+}
+
+// DefaultRingCapacity is the trace count a zero-capacity NewRing gets.
+const DefaultRingCapacity = 32
+
+// NewRing returns a ring retaining up to capacity traces (<= 0 means
+// DefaultRingCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Capacity returns the ring's slot count.
+func (r *Ring) Capacity() int { return len(r.slots) }
+
+// score orders traces for retention: the top bit marks errored traces
+// so they outrank any merely slow one; the low bits are the duration.
+func score(t *Trace) uint64 {
+	s := uint64(t.Duration) &^ (1 << 63)
+	if t.Err != "" {
+		s |= 1 << 63
+	}
+	return s
+}
+
+// Offer submits a finished trace for retention and reports whether it
+// was kept. The trace must not be mutated afterwards.
+func (r *Ring) Offer(t *Trace) bool {
+	r.offered.Add(1)
+	s := score(t)
+	for {
+		minIdx := -1
+		var minScore uint64
+		var minTrace *Trace
+		for i := range r.slots {
+			cur := r.slots[i].Load()
+			if cur == nil {
+				minIdx, minTrace = i, nil
+				break
+			}
+			if cs := score(cur); minIdx < 0 || cs < minScore {
+				minIdx, minScore, minTrace = i, cs, cur
+			}
+		}
+		if minTrace != nil && s <= minScore {
+			r.dropped.Add(1)
+			return false
+		}
+		if r.slots[minIdx].CompareAndSwap(minTrace, t) {
+			r.kept.Add(1)
+			if minTrace != nil {
+				r.evicted.Add(1)
+			}
+			return true
+		}
+		// Lost the race to another Offer; rescan. Progress is
+		// guaranteed system-wide: a failed CAS implies some other
+		// Offer's succeeded.
+	}
+}
+
+// RingStats is the ring's accounting, exposed in /debug/traces.
+type RingStats struct {
+	Offered int64 `json:"offered"`
+	Kept    int64 `json:"kept"`
+	Dropped int64 `json:"dropped"`
+	Evicted int64 `json:"evicted"`
+}
+
+// Stats returns the current accounting counters.
+func (r *Ring) Stats() RingStats {
+	return RingStats{
+		Offered: r.offered.Load(),
+		Kept:    r.kept.Load(),
+		Dropped: r.dropped.Load(),
+		Evicted: r.evicted.Load(),
+	}
+}
+
+// Traces returns the retained traces, highest priority (errored, then
+// slowest) first.
+func (r *Ring) Traces() []*Trace {
+	var out []*Trace
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return score(out[i]) > score(out[j]) })
+	return out
+}
+
+// RingSnapshot is the full /debug/traces JSON document. Field names
+// are pinned by a golden test.
+type RingSnapshot struct {
+	Capacity int             `json:"capacity"`
+	Stats    RingStats       `json:"stats"`
+	Traces   []TraceSnapshot `json:"traces"`
+}
+
+// Snapshot captures the ring: capacity, accounting, and the retained
+// traces in priority order.
+func (r *Ring) Snapshot() RingSnapshot {
+	snap := RingSnapshot{Capacity: len(r.slots), Stats: r.Stats(), Traces: []TraceSnapshot{}}
+	for _, t := range r.Traces() {
+		snap.Traces = append(snap.Traces, t.Snapshot())
+	}
+	return snap
+}
+
+// SnapshotTraces returns the armed ring's snapshot, or an empty
+// document when observability is disabled or no ring is configured —
+// what GET /debug/traces serves either way.
+func SnapshotTraces() RingSnapshot {
+	if cfg := state.Load(); cfg != nil && cfg.Ring != nil {
+		return cfg.Ring.Snapshot()
+	}
+	return RingSnapshot{Traces: []TraceSnapshot{}}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, d time.Duration, errMsg string) *Trace {
+	return &Trace{ID: id, Name: "op", Start: time.Now(), Duration: d, Err: errMsg}
+}
+
+func ringIDs(r *Ring) []string {
+	var ids []string
+	for _, tr := range r.Traces() {
+		ids = append(ids, tr.ID)
+	}
+	return ids
+}
+
+// TestRingRetention pins the retention policy: fill, then the slowest
+// survive, errored traces outrank any merely slow one, and ties with
+// the current minimum are dropped.
+func TestRingRetention(t *testing.T) {
+	r := NewRing(3)
+	if r.Capacity() != 3 {
+		t.Fatalf("capacity %d", r.Capacity())
+	}
+	if !r.Offer(mkTrace("a", 10*time.Millisecond, "")) {
+		t.Fatal("offer into empty ring not kept")
+	}
+	r.Offer(mkTrace("b", 30*time.Millisecond, ""))
+	r.Offer(mkTrace("c", 20*time.Millisecond, ""))
+
+	// Slower than the min (a): evicts it.
+	if !r.Offer(mkTrace("d", 25*time.Millisecond, "")) {
+		t.Fatal("faster-than-ring trace should have evicted the min")
+	}
+	// Equal to the new min (c, 20ms): dropped, not kept.
+	if r.Offer(mkTrace("e", 20*time.Millisecond, "")) {
+		t.Fatal("tie with the min should drop")
+	}
+	// Errored beats everything slow.
+	if !r.Offer(mkTrace("f", time.Millisecond, "boom")) {
+		t.Fatal("errored trace should always be kept over slow ones")
+	}
+
+	got := ringIDs(r)
+	want := []string{"f", "b", "d"} // errored first, then slowest
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("retained %v, want %v", got, want)
+	}
+
+	st := r.Stats()
+	if st.Offered != 6 || st.Kept != 5 || st.Dropped != 1 || st.Evicted != 2 {
+		t.Errorf("stats %+v, want offered=6 kept=5 dropped=1 evicted=2", st)
+	}
+	if st.Offered != st.Kept+st.Dropped {
+		t.Errorf("accounting broken: offered %d != kept %d + dropped %d",
+			st.Offered, st.Kept, st.Dropped)
+	}
+	if st.Kept-st.Evicted != int64(len(got)) {
+		t.Errorf("kept-evicted %d != %d slots in use", st.Kept-st.Evicted, len(got))
+	}
+}
+
+// TestRingZeroCapacityDefaults pins the <=0 → DefaultRingCapacity rule.
+func TestRingZeroCapacityDefaults(t *testing.T) {
+	if c := NewRing(0).Capacity(); c != DefaultRingCapacity {
+		t.Errorf("NewRing(0) capacity %d, want %d", c, DefaultRingCapacity)
+	}
+}
+
+// TestChaosRingExactTopN is the ring's strongest guarantee, pinned
+// under -race: per-slot priorities only increase, so the global
+// minimum is monotone and concurrent offers converge to exactly the
+// top N of everything offered — not approximately, exactly. 16 writers
+// offer 512 traces with distinct scores; the survivors must be the 32
+// highest, with exactly-once accounting.
+func TestChaosRingExactTopN(t *testing.T) {
+	const (
+		writers   = 16
+		perWriter = 32
+		capacity  = 32
+	)
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Distinct durations across all writers.
+				d := time.Duration(w*perWriter+i+1) * time.Microsecond
+				r.Offer(mkTrace(fmt.Sprintf("w%d-%d", w, i), d, ""))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(writers * perWriter)
+	st := r.Stats()
+	if st.Offered != total {
+		t.Fatalf("offered %d, want %d", st.Offered, total)
+	}
+	if st.Offered != st.Kept+st.Dropped {
+		t.Errorf("accounting broken: offered %d != kept %d + dropped %d",
+			st.Offered, st.Kept, st.Dropped)
+	}
+	retained := r.Traces()
+	if st.Kept-st.Evicted != int64(len(retained)) {
+		t.Errorf("kept-evicted %d != %d slots in use", st.Kept-st.Evicted, len(retained))
+	}
+	if len(retained) != capacity {
+		t.Fatalf("retained %d traces, want %d", len(retained), capacity)
+	}
+
+	// Exact top-N: the survivors are precisely the 32 longest durations.
+	var got []int
+	for _, tr := range retained {
+		got = append(got, int(tr.Duration/time.Microsecond))
+		// No torn traces: every retained pointer is a whole trace.
+		if tr.ID == "" || tr.Name != "op" || tr.Duration == 0 {
+			t.Errorf("torn trace retained: %+v", tr)
+		}
+	}
+	sort.Ints(got)
+	for i, d := range got {
+		want := writers*perWriter - capacity + i + 1
+		if d != want {
+			t.Fatalf("retained set not the exact top %d: got %v", capacity, got)
+		}
+	}
+}
+
+// TestChaosRingErroredPriority runs concurrent writers mixing errored
+// and slow traces: every errored trace must outrank every clean one in
+// the final ring, regardless of interleaving.
+func TestChaosRingErroredPriority(t *testing.T) {
+	const capacity = 8
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				errMsg := ""
+				if i%8 == 0 { // 2 errored per writer, 16 total
+					errMsg = "http 500"
+				}
+				d := time.Duration(w*16+i+1) * time.Microsecond
+				r.Offer(mkTrace(fmt.Sprintf("w%d-%d", w, i), d, errMsg))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	retained := r.Traces()
+	if len(retained) != capacity {
+		t.Fatalf("retained %d, want %d", len(retained), capacity)
+	}
+	for _, tr := range retained {
+		if tr.Err == "" {
+			t.Errorf("clean trace %s retained while errored traces were offered beyond capacity", tr.ID)
+		}
+	}
+	st := r.Stats()
+	if st.Offered != 128 || st.Offered != st.Kept+st.Dropped {
+		t.Errorf("accounting %+v", st)
+	}
+}
+
+// TestSnapshotTracesDisabled pins the empty-document contract for
+// GET /debug/traces when nothing is armed.
+func TestSnapshotTracesDisabled(t *testing.T) {
+	if Enabled() {
+		t.Fatal("observability armed at test start")
+	}
+	snap := SnapshotTraces()
+	if snap.Capacity != 0 || snap.Traces == nil || len(snap.Traces) != 0 {
+		t.Errorf("disabled snapshot: %+v", snap)
+	}
+}
+
+// TestSnapshotTracesArmed pins that the armed snapshot reflects the
+// configured ring.
+func TestSnapshotTracesArmed(t *testing.T) {
+	ring := NewRing(4)
+	defer Activate(Config{Ring: ring})()
+	ring.Offer(mkTrace("x", 5*time.Millisecond, ""))
+	snap := SnapshotTraces()
+	if snap.Capacity != 4 || len(snap.Traces) != 1 || snap.Traces[0].ID != "x" {
+		t.Errorf("armed snapshot: %+v", snap)
+	}
+}

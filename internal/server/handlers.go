@@ -10,6 +10,7 @@ import (
 
 	"ladiff"
 	"ladiff/internal/fault"
+	"ladiff/internal/obs"
 )
 
 // DiffRequest is the body of POST /v1/diff.
@@ -313,14 +314,23 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	// Parsers do not poll the context — they are linear in the input,
 	// which the body and streaming tree limits already bound.
 	t0 := time.Now()
+	_, psp := obs.StartSpan(ctx, "parse")
+	psp.Str("format", req.Format)
 	oldT, ok := s.parseChecked(w, "old", req.Format, req.Old)
 	if !ok {
+		psp.Str("error", "old document failed to parse")
+		psp.End()
 		return
 	}
 	newT, ok := s.parseChecked(w, "new", req.Format, req.New)
 	if !ok {
+		psp.Str("error", "new document failed to parse")
+		psp.End()
 		return
 	}
+	psp.Int("old_nodes", int64(oldT.Len()))
+	psp.Int("new_nodes", int64(newT.Len()))
+	psp.End()
 	observe(PhaseParse, time.Since(t0))
 	s.met.OldNodes.Add(int64(oldT.Len()))
 	s.met.NewNodes.Add(int64(newT.Len()))
@@ -356,6 +366,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 	// Phase 4: render the requested output.
 	t0 = time.Now()
+	_, rsp := obs.StartSpan(ctx, "serialize")
+	rsp.Str("output", output)
 	resp := DiffResponse{Format: req.Format, Output: output}
 	switch output {
 	case "script":
@@ -364,6 +376,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		dt, err := ladiff.BuildDelta(res)
 		if err != nil {
 			s.met.Errors.Add(1)
+			rsp.Str("error", "delta: "+err.Error())
+			rsp.End()
 			writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
 			return
 		}
@@ -371,6 +385,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			raw, err := marshalDelta(dt)
 			if err != nil {
 				s.met.Errors.Add(1)
+				rsp.Str("error", "delta: "+err.Error())
+				rsp.End()
 				writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
 				return
 			}
@@ -379,6 +395,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			resp.Document = renderMarked(req.Format, dt)
 		}
 	}
+	rsp.Int("ops", int64(len(res.Script)))
+	rsp.End()
 	observe(PhaseRender, time.Since(t0))
 
 	resp.Stats = DiffStats{

@@ -2,9 +2,9 @@ package server
 
 import (
 	"encoding/json"
-	"math/bits"
 	"sync/atomic"
-	"time"
+
+	"ladiff/internal/obs"
 )
 
 // Phase indexes the per-phase latency histograms: the four stages every
@@ -65,85 +65,15 @@ type Metrics struct {
 	RequestLatency Histogram
 }
 
-// histBuckets is the number of power-of-two microsecond buckets: bucket
-// i counts observations in [2^(i-1), 2^i) µs, so the range spans 1 µs
-// to ~2⁶⁷ µs — wider than any plausible request.
-const histBuckets = 28
+// Histogram is the shared log₂-µs latency histogram of the process
+// metrics registry (internal/obs). The bucket upper edges are
+// inclusive, so quantile estimates are conservative strictly within
+// 2× — including at exact powers of two; the boundary tests in
+// internal/obs pin the math.
+type Histogram = obs.Histogram
 
-// Histogram is a fixed-bucket log₂-scale latency histogram, safe for
-// concurrent Observe and snapshot.
-type Histogram struct {
-	counts [histBuckets]atomic.Int64
-	count  atomic.Int64
-	sumUS  atomic.Int64
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	idx := bits.Len64(uint64(us)) // 0 µs → bucket 0, 1 µs → 1, 2-3 µs → 2, ...
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	h.counts[idx].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-}
-
-// Count returns the number of samples recorded so far.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// HistogramSnapshot is the wire form of one histogram: counts, sum, and
-// quantile upper bounds (each quantile reports the upper edge of the
-// bucket containing it, so estimates are conservative within 2×).
-type HistogramSnapshot struct {
-	Count int64 `json:"count"`
-	SumUS int64 `json:"sum_us"`
-	P50US int64 `json:"p50_us"`
-	P95US int64 `json:"p95_us"`
-	P99US int64 `json:"p99_us"`
-}
-
-// Snapshot captures the histogram's current state.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	var counts [histBuckets]int64
-	total := int64(0)
-	for i := range counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
-	}
-	s := HistogramSnapshot{Count: total, SumUS: h.sumUS.Load()}
-	s.P50US = quantile(counts[:], total, 0.50)
-	s.P95US = quantile(counts[:], total, 0.95)
-	s.P99US = quantile(counts[:], total, 0.99)
-	return s
-}
-
-// quantile returns the upper bound (in µs) of the bucket containing the
-// q-quantile, or 0 for an empty histogram.
-func quantile(counts []int64, total int64, q float64) int64 {
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	cum := int64(0)
-	for i, c := range counts {
-		cum += c
-		if cum >= target {
-			if i == 0 {
-				return 0
-			}
-			return 1 << uint(i) // upper edge of bucket i
-		}
-	}
-	return 1 << uint(len(counts))
-}
+// HistogramSnapshot is the wire form of one histogram.
+type HistogramSnapshot = obs.HistogramSnapshot
 
 // MetricsSnapshot is the JSON document GET /metrics serves.
 type MetricsSnapshot struct {
@@ -164,6 +94,12 @@ type MetricsSnapshot struct {
 	NewNodesTotal         int64                        `json:"new_nodes_total"`
 	PhaseUS               map[string]HistogramSnapshot `json:"phase_us"`
 	RequestUS             HistogramSnapshot            `json:"request_us"`
+	// Engine merges the process-wide obs registry into the scrape: the
+	// engine-level gauges (matcher memo hits, match/gen-index
+	// fallbacks, buffer-pool gets/allocs/recycles). The gauges update
+	// only while observability is armed (ladiffd -obs, on by default),
+	// so a disabled process reports zeros here at no hot-path cost.
+	Engine map[string]int64 `json:"engine"`
 }
 
 // Snapshot captures every counter at one instant (counters are read
@@ -188,6 +124,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		NewNodesTotal:         m.NewNodes.Load(),
 		PhaseUS:               make(map[string]HistogramSnapshot, numPhases),
 		RequestUS:             m.RequestLatency.Snapshot(),
+		Engine:                obs.Default.Counters(),
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		s.PhaseUS[phaseNames[p]] = m.PhaseLatency[p].Snapshot()

@@ -3,14 +3,18 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	runtimepprof "runtime/pprof"
 	"sync"
 	"time"
 
 	"ladiff/internal/lderr"
+	"ladiff/internal/obs"
 )
 
 // Config tunes one Server. The zero value is usable: every field has a
@@ -128,7 +132,48 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/patch", s.handlePatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.accessLog(s.recoverPanics(mux))
+	return s.accessLog(s.observe(s.recoverPanics(mux)))
+}
+
+// observe is the observability middleware: when the obs layer is
+// armed it assigns (or propagates) the request id, attaches pprof
+// labels so CPU profiles segment by request, and wraps the request in
+// a trace whose root span the handlers and the engine hang phase
+// spans from. The finished trace is offered to the slow-trace ring.
+// Disabled cost is one atomic load; the middleware sits outside
+// recoverPanics, so a contained panic still finishes its trace (as a
+// 500) on the way out.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		tr, ctx := obs.StartTrace(r.Context(), r.Method+" "+r.URL.Path, id)
+		if tr == nil { // armed but unsampled
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		labels := runtimepprof.Labels("ladiff_request_id", id, "ladiff_path", r.URL.Path)
+		runtimepprof.Do(ctx, labels, func(ctx context.Context) {
+			next.ServeHTTP(rec, r.WithContext(ctx))
+		})
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		tr.Root.Int("http_status", int64(rec.status))
+		if rec.status >= 400 {
+			tr.SetError(fmt.Sprintf("http %d", rec.status))
+		}
+		tr.Finish()
+		obs.Offer(tr)
+	})
 }
 
 // recoverPanics is the per-request panic containment layer: a panic
@@ -186,7 +231,19 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return mux
+}
+
+// handleTraces serves the slow/errored-trace ring as JSON: capacity,
+// retention accounting, and the retained traces in priority order.
+// With observability disabled (or no ring armed) it serves an empty
+// document rather than an error, so scrapers need no special case.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(obs.SnapshotTraces())
 }
 
 // BeginDrain flips the server into draining mode: /healthz starts
@@ -255,12 +312,22 @@ func (s *Server) accessLog(next http.Handler) http.Handler {
 }
 
 // bufPool recycles body-read buffers across requests so steady-state
-// serving allocates no per-request read buffer.
+// serving allocates no per-request read buffer. The obs gauges count
+// checkouts and misses (recycles = gets − allocs); both updates are
+// gated on the armed check so the disabled path pays one atomic load.
 var bufPool = sync.Pool{
-	New: func() any { return new(bytes.Buffer) },
+	New: func() any {
+		if obs.Enabled() {
+			obs.PoolAllocs.Add(1)
+		}
+		return new(bytes.Buffer)
+	},
 }
 
 func getBuf() *bytes.Buffer {
+	if obs.Enabled() {
+		obs.PoolGets.Add(1)
+	}
 	b := bufPool.Get().(*bytes.Buffer)
 	b.Reset()
 	return b

@@ -82,6 +82,12 @@ type (
 	// work that actually executed after memoization.
 	MatchStats = match.Stats
 
+	// WorkStats counts Algorithm EditScript's abstract work (Result.Work):
+	// Visits/AlignEquals/PosScans/Ops are the logical O(ND) measure,
+	// invariant across generator configurations; the Effective* fields
+	// count the position-index operations that actually executed.
+	WorkStats = core.WorkStats
+
 	// Result is the outcome of Diff: script, matchings, transformed tree.
 	Result = core.Result
 	// Options configures the Diff pipeline.
