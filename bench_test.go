@@ -298,3 +298,35 @@ func BenchmarkLatexParse(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPruneDisabled is the fingerprint ladder's disabled-overhead
+// guard: the full pipeline with pruning off (the default) on trees that
+// have never computed a fingerprint. CI runs this as a smoke to keep
+// the disabled path compiling and measured; comparing it against
+// BenchmarkPruneEnabled shows the ladder's net effect on this workload
+// (BENCH_hashing.json records the authoritative numbers across
+// workload classes).
+func BenchmarkPruneDisabled(b *testing.B) {
+	oldT, newT := mediumPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Diff(oldT.Clone(), newT.Clone(), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPruneEnabled measures the same pipeline with the Merkle
+// prune pass on. Each iteration re-clones the trees, so the run pays
+// the full fingerprint build every time — the honest cold-cache cost.
+func BenchmarkPruneEnabled(b *testing.B) {
+	oldT, newT := mediumPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Diff(oldT.Clone(), newT.Clone(), core.Options{
+			Match: match.Options{PruneIdentical: true},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,11 +26,13 @@ func main() {
 	editPerfOut := flag.String("editperfout", "BENCH_editscript.json", "output path for the editperf report")
 	servOut := flag.String("servout", "BENCH_serving.json", "output path for the servperf report")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the obsperf report")
+	hashOut := flag.String("hashout", "BENCH_hashing.json", "output path for the hashperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
 	servPerfOutPath = *servOut
 	obsPerfOutPath = *obsOut
+	hashPerfOutPath = *hashOut
 
 	all := []struct {
 		name string
@@ -48,6 +50,7 @@ func main() {
 		{"editperf", runEditPerf},
 		{"servperf", runServPerf},
 		{"obsperf", runObsPerf},
+		{"hashperf", runHashPerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -376,6 +379,43 @@ func runObsPerf() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", obsPerfOutPath)
+	fmt.Println()
+	return nil
+}
+
+// hashPerfOutPath is where runHashPerf writes BENCH_hashing.json.
+var hashPerfOutPath = "BENCH_hashing.json"
+
+func runHashPerf() error {
+	report, err := bench.CollectHashPerf(0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E13: Merkle fingerprint ladder — sparse edits, short circuit, worst case ==")
+	fmt.Println("   (pruning claims identical subtrees wholesale before the label rounds;")
+	fmt.Println("    every rep re-clones the trees, so pruned runs pay the full hash build)")
+	var rows [][]string
+	for _, c := range []bench.HashPerfComparison{report.Sparse, report.SparseFast, report.Identical, report.Dense} {
+		rows = append(rows, []string{
+			c.Workload, c.Matcher, fmt.Sprint(c.OldNodes),
+			fmt.Sprintf("%.2fms", float64(c.Base.NsPerOp)/1e6),
+			fmt.Sprintf("%.2fms", float64(c.Pruned.NsPerOp)/1e6),
+			fmt.Sprintf("%.1fx", c.SpeedupX),
+			fmt.Sprint(c.Base.R1), fmt.Sprint(c.Pruned.R1),
+			fmt.Sprint(c.Pruned.PrunedPairs),
+			fmt.Sprint(c.ResultsAgree),
+		})
+	}
+	fmt.Print(bench.FormatTable(
+		[]string{"workload", "matcher", "nodes", "off", "on", "speedup", "r1 off", "r1 on", "pruned pairs", "agree"}, rows))
+	cz := report.Cache
+	fmt.Printf("cache (zipf s=%.1f over %d pairs, %d requests): %.0fµs/req off, %.0fµs/req on, %.1fx, hit rate %.0f%%\n",
+		cz.ZipfS, cz.DocPairs, cz.Requests,
+		float64(cz.MeanUSCacheOff), float64(cz.MeanUSCacheOn), cz.SpeedupX, cz.HitRate*100)
+	if err := report.WriteHashPerf(hashPerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", hashPerfOutPath)
 	fmt.Println()
 	return nil
 }

@@ -22,9 +22,17 @@
 //	-json                     emit the delta tree as JSON in the ladiffd
 //	                          wire format (same bytes as POST /v1/diff
 //	                          with output=delta); overrides -out
+//	-prune                    claim fingerprint-identical subtrees
+//	                          wholesale before the match rounds (§5
+//	                          pre-pass; same script, less work)
+//	-hash                     print Merkle root fingerprints instead of
+//	                          diffing; accepts one or two files, exits 0
+//	                          if all roots agree, 6 if they differ
+//	-v                        with -hash: per-subtree fingerprint table
 //
 // Exit codes: 0 success, 1 unclassified failure, 2 usage, 3 input
-// load/parse failure, 4 diff-pipeline failure.
+// load/parse failure, 4 diff-pipeline failure, 5 internal failure,
+// 6 -hash fingerprint mismatch.
 //
 // Examples:
 //
@@ -33,6 +41,8 @@
 //	ladiff -out summary -t 0.7 old.txt new.txt
 //	ladiff -level 3 -out summary old.tex new.tex
 //	ladiff -out query -query "**/sentence[mrk]" old.tex new.tex
+//	ladiff -prune -out summary old.tex new.tex
+//	ladiff -hash old.tex new.tex && echo unchanged
 package main
 
 import (
@@ -60,22 +70,84 @@ func main() {
 	query := flag.String("query", "", "delta query expression for -out query")
 	jsonOut := flag.Bool("json", false, "emit the delta tree as JSON in the ladiffd wire format (overrides -out)")
 	trace := flag.Bool("trace", false, "print the engine span tree (phase timings and work counters) to stderr")
+	prune := flag.Bool("prune", false, "claim fingerprint-identical subtrees wholesale before the match rounds")
+	hash := flag.Bool("hash", false, "print Merkle root fingerprints instead of diffing (one or two files)")
+	verbose := flag.Bool("v", false, "with -hash: print the per-subtree fingerprint table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ladiff [flags] OLD NEW\n")
+		fmt.Fprintf(os.Stderr, "usage: ladiff [flags] OLD NEW\n       ladiff -hash [-v] FILE [FILE]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *hash {
+		if flag.NArg() < 1 || flag.NArg() > 2 {
+			flag.Usage()
+			os.Exit(cli.ExitUsage)
+		}
+		differ, err := runHash(flag.Args(), *format, *verbose)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ladiff: %v\n", err)
+			os.Exit(cli.ExitCode(err))
+		}
+		if differ {
+			os.Exit(exitHashDiffer)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query, *jsonOut, *trace); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query, *jsonOut, *trace, *prune); err != nil {
 		fmt.Fprintf(os.Stderr, "ladiff: %v\n", err)
 		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string, jsonOut, trace bool) error {
+// exitHashDiffer is the -hash mode's "roots disagree" exit code — its
+// own value, past the cli package's error classes, because a mismatch
+// is a finding, not a failure.
+const exitHashDiffer = 6
+
+// runHash implements -hash: the fingerprint inspection mode. One file
+// prints its root fingerprint; two files print both and the process
+// exits 6 when they differ, so shell pipelines can use the root hash as
+// a cheap "did anything change?" probe without running a diff (the same
+// trick examples/webwatch uses to skip unchanged fetches). With -v the
+// whole per-subtree table prints: depth-indented, one row per node, the
+// digest each cache and prune decision keys on.
+func runHash(paths []string, format string, verbose bool) (differ bool, err error) {
+	var fps []ladiff.Fingerprint
+	for _, path := range paths {
+		resolved := format
+		if resolved == "" {
+			resolved = formatByExt(path)
+		}
+		t, err := load(path, resolved)
+		if err != nil {
+			return false, cli.ParseError(err)
+		}
+		fp := ladiff.RootFingerprint(t)
+		fps = append(fps, fp)
+		fmt.Printf("%s  %s\n", fp, path)
+		if verbose {
+			for _, nf := range ladiff.SubtreeFingerprints(t) {
+				val := nf.Node.Value()
+				if len(val) > 40 {
+					val = val[:37] + "..."
+				}
+				fmt.Printf("  %s  %*s%s  %q\n", nf.FP, 2*ladiff.NodeDepth(nf.Node), "", nf.Node.Label(), val)
+			}
+		}
+	}
+	for _, fp := range fps[1:] {
+		if fp != fps[0] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string, jsonOut, trace, prune bool) error {
 	// -trace arms the observability layer for this process and hangs
 	// the whole run under one trace; the span tree (parse, match
 	// rounds, generation phases, serialize) prints to stderr at the
@@ -114,7 +186,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 	psp.End()
 
 	stats := &ladiff.MatchStats{}
-	mopts := ladiff.MatchOptions{InternalThreshold: t, LeafThreshold: f, Stats: stats}
+	mopts := ladiff.MatchOptions{InternalThreshold: t, LeafThreshold: f, Stats: stats, PruneIdentical: prune}
 	var res *ladiff.Result
 	if level >= 0 {
 		mopts.Ctx = ctx

@@ -34,6 +34,8 @@ func main() {
 	maxDepth := flag.Int("max-depth", 0, "max depth per parsed document (0 = 10000)")
 	matchBudget := flag.Int64("match-budget", 0, "match work budget per request in §8 work units (0 = unlimited)")
 	parallelism := flag.Int("match-parallelism", 0, "matcher parallelism per request (0 = 1; serve many requests, not one)")
+	prune := flag.Bool("prune", false, "claim fingerprint-identical subtrees wholesale on every diff (per-request opt-in stays available without it)")
+	cacheEntries := flag.Int("cache", 0, "fingerprint-keyed diff cache capacity in entries (0 = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	faultSpec := flag.String("fault", "", "arm fault injection: point:mode[:p=P][:delay=D][:bytes=N][,...][;seed=S] (chaos testing only)")
 	obsOn := flag.Bool("obs", true, "arm the observability layer: request traces, engine gauges, pprof labels")
@@ -64,6 +66,8 @@ func main() {
 		MaxTreeDepth:     *maxDepth,
 		MatchWorkBudget:  *matchBudget,
 		MatchParallelism: *parallelism,
+		PruneIdentical:   *prune,
+		DiffCacheEntries: *cacheEntries,
 		Logger:           logger,
 	}
 

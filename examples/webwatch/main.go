@@ -4,9 +4,12 @@
 // new one, insertions, deletions and edits classified rather than
 // reported as raw line diffs.
 //
-// The example simulates three visits to a news page and prints a change
+// The example simulates four visits to a news page and prints a change
 // digest after each revisit, exactly the workflow the paper proposes for
-// a diff-aware web browser (§9).
+// a diff-aware web browser (§9). Before diffing, each revisit compares
+// Merkle root fingerprints of the two snapshots; the final visit changes
+// only markup whitespace, so the fingerprints agree and the diff is
+// skipped outright.
 //
 // Run with: go run ./examples/webwatch
 //
@@ -52,6 +55,17 @@ var visits = []string{
 <h1>Local news</h1>
 <p>Visitors should use the temporary entrance on Oak Street.</p>
 </body></html>`,
+
+	// The fourth visit finds the page unchanged apart from markup
+	// whitespace — the common case for a polling watcher, and the one
+	// the Merkle fingerprint makes free: the root hashes agree, so the
+	// watcher skips the diff entirely.
+	`<html><body>
+<h1>Storm updates</h1>
+<p>Two shelters opened overnight for displaced residents.   The storm made landfall early on Tuesday morning. Coastal towns reported significant flooding in low areas. Emergency services remain on standby throughout the region.</p>
+<h1>Local news</h1>
+<p>Visitors should use the temporary entrance on Oak Street.</p>
+</body></html>`,
 }
 
 func main() {
@@ -81,10 +95,24 @@ func main() {
 	}
 
 	for visit := 1; visit < len(visits); visit++ {
+		// Fingerprint gate: hash both snapshots before diffing. A
+		// revisit that changed nothing (or only markup whitespace the
+		// parser normalizes away) produces the same Merkle root, and
+		// the watcher skips the pipeline — O(bytes) per unchanged
+		// visit instead of a full match-and-generate run.
+		unchanged, err := sameFingerprint(visits[visit-1], visits[visit])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if unchanged {
+			fmt.Printf("== Visit %d: changes since last visit ==\n", visit+1)
+			fmt.Println("   (fingerprint unchanged — diff skipped)")
+			fmt.Println()
+			continue
+		}
 		var (
 			dt  *ladiff.DeltaTree
 			ops int
-			err error
 		)
 		if svc != nil {
 			dt, ops, err = diffViaServer(svc, visits[visit-1], visits[visit])
@@ -102,6 +130,23 @@ func main() {
 		fired := rules.Apply(dt)
 		fmt.Printf("   rules fired: %s\n\n", deltaSummary(fired))
 	}
+}
+
+// sameFingerprint parses both snapshots and compares their Merkle root
+// fingerprints — the cheap "did anything change?" probe. Parsing is
+// unavoidable (the fingerprint keys on document structure, not raw
+// bytes, which is what lets whitespace-only edits register as
+// unchanged), but matching and generation are skipped entirely.
+func sameFingerprint(oldSrc, newSrc string) (bool, error) {
+	oldT, err := ladiff.ParseHTML(oldSrc)
+	if err != nil {
+		return false, err
+	}
+	newT, err := ladiff.ParseHTML(newSrc)
+	if err != nil {
+		return false, err
+	}
+	return ladiff.RootFingerprint(oldT) == ladiff.RootFingerprint(newT), nil
 }
 
 // diffInProcess runs the pipeline locally, as the original example did.

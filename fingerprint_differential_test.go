@@ -1,0 +1,163 @@
+package ladiff_test
+
+import (
+	"context"
+	"testing"
+
+	"ladiff"
+	"ladiff/internal/gen"
+)
+
+// diffPruned mirrors diffOnce (obs_differential_test.go) with the
+// fingerprint prune pass enabled.
+func diffPruned(t *testing.T, oldT, newT *ladiff.Tree) (obsRun, *ladiff.Result) {
+	t.Helper()
+	stats := &ladiff.MatchStats{}
+	res, err := ladiff.Diff(oldT, newT, ladiff.Options{
+		Match: ladiff.MatchOptions{Stats: stats, PruneIdentical: true},
+	})
+	if err != nil {
+		t.Fatalf("Diff(pruned): %v", err)
+	}
+	return obsRun{work: res.Work, stats: *stats}, res
+}
+
+// genPair builds the class's document and its perturbed version.
+func genPair(t *testing.T, c gen.Class, seed int64) (*ladiff.Tree, *gen.Perturbed) {
+	t.Helper()
+	doc := c.Doc
+	doc.Seed = seed
+	oldT := gen.Document(doc)
+	pert, err := gen.Perturb(oldT, c.Pert(seed+1))
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	return oldT, pert
+}
+
+// TestFingerprintDisabledInvariance pins the off-by-default contract:
+// with pruning disabled, a run against trees whose fingerprint indexes
+// have already been built (the "warm" state the serving tier leaves
+// trees in) is byte-identical — scripts, delta, marked output — and
+// bit-identical in the logical work counters to a run against cold
+// trees that never computed a hash. The fingerprint layer must be
+// strictly passive until asked for.
+func TestFingerprintDisabledInvariance(t *testing.T) {
+	for _, c := range gen.Classes() {
+		t.Run(c.Name, func(t *testing.T) {
+			oldT, pert := genPair(t, c, 401)
+
+			coldOld, coldNew := oldT.Clone(), pert.New.Clone()
+			base := diffOnce(t, coldOld, coldNew, context.Background())
+
+			warmOld, warmNew := oldT.Clone(), pert.New.Clone()
+			warmOld.Fingerprints()
+			warmNew.Fingerprints()
+			warm := diffOnce(t, warmOld, warmNew, context.Background())
+
+			assertRunsIdentical(t, "warm-fingerprints", base, warm)
+		})
+	}
+}
+
+// TestFingerprintPrunedCorrectness is the enabled-mode oracle: for
+// every workload class, the pruned pipeline's script must replay on the
+// old tree to a tree isomorphic with the new one (ApplyToOld verifies
+// this internally). Scripts may legitimately differ from the unpruned
+// oracle's — wholesale claiming changes which partners the criteria
+// rounds see (the FuzzDiffPrunedVsUnpruned contract) — but pruning
+// must never produce a costlier script than the oracle on these
+// workloads: identical regions it claims are pairs the full match
+// would also have found.
+func TestFingerprintPrunedCorrectness(t *testing.T) {
+	for _, c := range gen.Classes() {
+		t.Run(c.Name, func(t *testing.T) {
+			oldT, pert := genPair(t, c, 907)
+
+			oracle, err := ladiff.Diff(oldT.Clone(), pert.New.Clone(), ladiff.Options{})
+			if err != nil {
+				t.Fatalf("Diff(oracle): %v", err)
+			}
+			_, res := diffPruned(t, oldT.Clone(), pert.New.Clone())
+
+			if _, err := res.ApplyToOld(); err != nil {
+				t.Fatalf("pruned script does not reproduce the new tree: %v", err)
+			}
+			if pc, oc := res.Cost(nil), oracle.Cost(nil); pc > oc {
+				t.Errorf("pruned script cost %.2f exceeds unpruned oracle %.2f", pc, oc)
+			}
+		})
+	}
+}
+
+// TestFingerprintZSCrossCheck cross-checks the prune pass against the
+// Zhang–Shasha baseline on small trees: under the ZS matcher the
+// pruned and unpruned runs must produce identical scripts, and two
+// trees with equal root fingerprints must be at ZS distance zero.
+func TestFingerprintZSCrossCheck(t *testing.T) {
+	oldT, pert := genPair(t, gen.Class{
+		Name: "small",
+		Doc:  gen.DocParams{Sections: 1, MinParagraphs: 1, MaxParagraphs: 2},
+		Pert: func(seed int64) gen.PerturbParams { return gen.Mix(seed, 4) },
+	}, 11)
+
+	base, err := ladiff.Diff(oldT.Clone(), pert.New.Clone(), ladiff.Options{Matcher: ladiff.ZSMatcher})
+	if err != nil {
+		t.Fatalf("ZS diff: %v", err)
+	}
+	pruned, err := ladiff.Diff(oldT.Clone(), pert.New.Clone(), ladiff.Options{
+		Matcher: ladiff.ZSMatcher,
+		Match:   ladiff.MatchOptions{PruneIdentical: true},
+	})
+	if err != nil {
+		t.Fatalf("ZS diff (pruned): %v", err)
+	}
+	if len(base.Script) != len(pruned.Script) {
+		t.Errorf("ZS scripts diverge under pruning: %d vs %d ops", len(base.Script), len(pruned.Script))
+	}
+	if _, err := pruned.ApplyToOld(); err != nil {
+		t.Errorf("pruned ZS script replay: %v", err)
+	}
+
+	twin := oldT.Clone()
+	if ladiff.RootFingerprint(oldT) != ladiff.RootFingerprint(twin) {
+		t.Fatal("clone changed the root fingerprint")
+	}
+	d, err := ladiff.ZhangShashaDistance(oldT, twin)
+	if err != nil {
+		t.Fatalf("ZhangShashaDistance: %v", err)
+	}
+	if d != 0 {
+		t.Errorf("equal fingerprints but ZS distance %v", d)
+	}
+}
+
+// TestFingerprintStalenessAfterPatch is the staleness regression: apply
+// a pruned diff's script to the old tree and the patched tree's root
+// fingerprint must equal the new tree's — i.e. every mutation the
+// script performs (insert, delete, update, move) correctly invalidated
+// the Merkle path above it. A stale cached hash anywhere would surface
+// here as a mismatched root.
+func TestFingerprintStalenessAfterPatch(t *testing.T) {
+	for _, c := range gen.Classes() {
+		t.Run(c.Name, func(t *testing.T) {
+			oldT, pert := genPair(t, c, 613)
+			work := oldT.Clone()
+			// Warm the fingerprint index BEFORE patching, so the test
+			// exercises invalidation rather than a cold rebuild.
+			work.Fingerprints()
+
+			_, res := diffPruned(t, oldT, pert.New)
+			if res.RootsWrapped {
+				t.Skip("roots unmatched; script targets a wrapped tree")
+			}
+			if err := res.Script.Apply(work); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			got, want := ladiff.RootFingerprint(work), ladiff.RootFingerprint(pert.New)
+			if got != want {
+				t.Errorf("fingerprint of patched old tree %s != fingerprint of new tree %s", got, want)
+			}
+		})
+	}
+}

@@ -84,6 +84,14 @@ func Diff(old, new *tree.Tree, opts Options) (_ *Result, err error) {
 			opts.Gen.Ctx = opts.Ctx
 		}
 	}
+	// Root-hash short circuit: part of the fingerprint ladder, so it is
+	// gated on the same knob as the matcher's pruning pass — the
+	// disabled mode must not even compute fingerprints.
+	if opts.Match.PruneIdentical {
+		if res, ok := ShortCircuitIdentical(opts.Ctx, old, new); ok {
+			return res, nil
+		}
+	}
 	m, degradedReasons, err := MatchWithFallback(old, new, opts.Matcher, opts.Match)
 	if err != nil {
 		return nil, err

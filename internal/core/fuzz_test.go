@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ladiff/internal/core"
+	"ladiff/internal/match"
 	"ladiff/internal/textdoc"
 	"ladiff/internal/tree"
 )
@@ -122,6 +123,66 @@ func FuzzDiffParsedTree(f *testing.F) {
 		}
 		if _, err := indexed.ApplyToOld(); err != nil {
 			t.Fatalf("replay failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
+		}
+	})
+}
+
+// FuzzDiffPrunedVsUnpruned is the safety fuzz for the fingerprint
+// ladder: on arbitrary tree pairs, a pruned run (Merkle pre-match pass
+// plus root-hash short circuit) must succeed whenever the unpruned run
+// does and must uphold the same end-to-end guarantee — the script
+// applied to the old tree yields a tree isomorphic to the new one. The
+// scripts themselves may differ (pruning claims identical regions
+// wholesale, changing which partners the criteria rounds see), which is
+// why the oracle is the isomorphism contract, not op equality.
+func FuzzDiffPrunedVsUnpruned(f *testing.F) {
+	f.Add("a\n  b \"x\"\n  c \"y\"", "a\n  c \"y\"\n  b \"x\"")
+	f.Add("r\n  s \"same\"\n  s \"same\"", "r\n  s \"same\"\n  s \"same\"")
+	f.Add(deepChainTree(32, "v"), deepChainTree(32, "v"))
+	f.Add("r\n"+strings.Repeat("  s \"q\"\n", 40), "r\n  s \"edit\"\n"+strings.Repeat("  s \"q\"\n", 39))
+	f.Fuzz(func(t *testing.T, oldSrc, newSrc string) {
+		if len(oldSrc) > 1<<12 || len(newSrc) > 1<<12 {
+			t.Skip()
+		}
+		oldT, err := tree.Parse(oldSrc)
+		if err != nil {
+			t.Skip()
+		}
+		newT, err := tree.Parse(newSrc)
+		if err != nil {
+			t.Skip()
+		}
+		base, err := core.Diff(oldT, newT, core.Options{})
+		if err != nil {
+			t.Fatalf("unpruned Diff failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
+		}
+		pruned, err := core.Diff(oldT, newT, core.Options{
+			Match: match.Options{PruneIdentical: true},
+		})
+		if err != nil {
+			t.Fatalf("pruned Diff failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
+		}
+		if _, err := pruned.ApplyToOld(); err != nil {
+			t.Fatalf("pruned replay failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
+		}
+		if !pruned.RootsWrapped && !tree.Isomorphic(pruned.Transformed, newT) {
+			t.Fatalf("pruned transform not isomorphic to new\nold:\n%s\nnew:\n%s\nscript: %v",
+				oldSrc, newSrc, pruned.Script)
+		}
+		// Identical inputs must short-circuit to an empty script; the
+		// unpruned oracle must agree that nothing needed doing.
+		if tree.Isomorphic(oldT, newT) {
+			if len(pruned.Script) != 0 {
+				t.Fatalf("identical trees produced %d pruned ops", len(pruned.Script))
+			}
+			if len(base.Script) != 0 {
+				t.Fatalf("identical trees produced %d unpruned ops", len(base.Script))
+			}
+		}
+		// Replay must also hold on the unpruned result (keeps the oracle
+		// honest about its own output).
+		if _, err := base.ApplyToOld(); err != nil {
+			t.Fatalf("unpruned replay failed: %v\nold:\n%s\nnew:\n%s", err, oldSrc, newSrc)
 		}
 	})
 }

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/match"
+	"ladiff/internal/tree"
+)
+
+const scDoc = `
+document
+  section
+    paragraph
+      sentence "alpha beta"
+      sentence "gamma delta"
+  section
+    paragraph
+      sentence "epsilon zeta"
+`
+
+func scParse(t *testing.T, src string) *tree.Tree {
+	t.Helper()
+	tr, err := tree.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tr
+}
+
+// TestShortCircuitIdentical: fingerprint-identical trees produce a
+// complete empty-diff Result — every node matched positionally, a
+// usable Transformed clone, and zero work counters — without running
+// match or generation.
+func TestShortCircuitIdentical(t *testing.T) {
+	oldT := scParse(t, scDoc)
+	newT := scParse(t, scDoc)
+
+	res, ok := core.ShortCircuitIdentical(nil, oldT, newT)
+	if !ok {
+		t.Fatal("identical trees did not short-circuit")
+	}
+	if len(res.Script) != 0 {
+		t.Fatalf("short circuit emitted %d ops", len(res.Script))
+	}
+	if res.Matching.Len() != oldT.Len() {
+		t.Errorf("matched %d of %d nodes", res.Matching.Len(), oldT.Len())
+	}
+	if err := res.Matching.Validate(oldT, newT); err != nil {
+		t.Errorf("matching invalid: %v", err)
+	}
+	if !tree.Isomorphic(res.Transformed, newT) {
+		t.Error("Transformed not isomorphic to new")
+	}
+	if res.Work != (core.WorkStats{}) {
+		t.Errorf("short circuit reported work: %+v", res.Work)
+	}
+	if err := res.Conforms(res.Matching); err != nil {
+		t.Errorf("Conforms: %v", err)
+	}
+	if _, err := res.ApplyToOld(); err != nil {
+		t.Errorf("replay: %v", err)
+	}
+}
+
+// TestShortCircuitRefusesDifferent: any content difference must fall
+// through to the normal pipeline.
+func TestShortCircuitRefusesDifferent(t *testing.T) {
+	oldT := scParse(t, scDoc)
+	newT := scParse(t, scDoc)
+	newT.SetValue(newT.Leaves()[0], "changed text")
+	if _, ok := core.ShortCircuitIdentical(nil, oldT, newT); ok {
+		t.Fatal("differing trees short-circuited")
+	}
+	var empty *tree.Tree
+	if _, ok := core.ShortCircuitIdentical(nil, empty, newT); ok {
+		t.Fatal("nil tree short-circuited")
+	}
+	if _, ok := core.ShortCircuitIdentical(nil, tree.New(), tree.New()); ok {
+		t.Fatal("empty trees short-circuited")
+	}
+}
+
+// TestDiffShortCircuitGated: Diff takes the fast path only under the
+// PruneIdentical knob; the default path produces the same (empty)
+// script the long way, so the two modes agree on identical inputs.
+func TestDiffShortCircuitGated(t *testing.T) {
+	oldT := scParse(t, scDoc)
+	newT := scParse(t, scDoc)
+
+	stats := &match.Stats{}
+	fast, err := core.Diff(oldT, newT, core.Options{
+		Match: match.Options{PruneIdentical: true, Stats: stats},
+	})
+	if err != nil {
+		t.Fatalf("pruned Diff: %v", err)
+	}
+	if len(fast.Script) != 0 {
+		t.Fatalf("pruned Diff emitted %d ops on identical trees", len(fast.Script))
+	}
+	// The short circuit must have fired before matching: no comparisons
+	// of any kind, logical or pruned.
+	if stats.Total() != 0 || stats.PrunedPairs != 0 {
+		t.Errorf("short-circuited Diff still did matcher work: %+v", stats)
+	}
+
+	slow, err := core.Diff(oldT, newT, core.Options{})
+	if err != nil {
+		t.Fatalf("default Diff: %v", err)
+	}
+	if len(slow.Script) != 0 {
+		t.Fatalf("default Diff emitted %d ops on identical trees", len(slow.Script))
+	}
+	if fast.Total.Len() != slow.Total.Len() {
+		t.Errorf("total matchings differ in size: %d vs %d", fast.Total.Len(), slow.Total.Len())
+	}
+}

@@ -1,0 +1,104 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// TestMatchesStdlibFNV128a pins the hand-rolled 128-bit multiply
+// against the stdlib reference implementation on random byte streams.
+// This is the cross-process stability contract: if this passes, a
+// fingerprint computed by any build of this package equals the
+// canonical FNV-128a of the same byte stream.
+func TestMatchesStdlibFNV128a(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		buf := make([]byte, n)
+		rng.Read(buf)
+
+		h := New()
+		h.WriteBytes(buf)
+		got := h.Sum()
+
+		ref := fnv.New128a()
+		ref.Write(buf)
+		sum := ref.Sum(nil)
+		want := FP{
+			Hi: binary.BigEndian.Uint64(sum[:8]),
+			Lo: binary.BigEndian.Uint64(sum[8:]),
+		}
+		if got != want {
+			t.Fatalf("trial %d (%d bytes): got %v want %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestEmptyIsOffsetBasis: hashing nothing yields the offset basis,
+// which is non-zero — so no real hash can be the reserved zero FP.
+func TestEmptyIsOffsetBasis(t *testing.T) {
+	h := New()
+	got := h.Sum()
+	if got.IsZero() {
+		t.Fatal("offset basis is zero")
+	}
+	if got != (FP{Hi: offsetHi, Lo: offsetLo}) {
+		t.Fatalf("empty hash %v != offset basis", got)
+	}
+}
+
+// TestLengthPrefixDisambiguates: ("ab","c") and ("a","bc") must hash
+// differently when each field is length-prefixed — the property the
+// tree hasher relies on to keep label/value boundaries unambiguous.
+func TestLengthPrefixDisambiguates(t *testing.T) {
+	sum := func(fields ...string) FP {
+		h := New()
+		for _, f := range fields {
+			h.WriteUvarint(uint64(len(f)))
+			h.WriteString(f)
+		}
+		return h.Sum()
+	}
+	if sum("ab", "c") == sum("a", "bc") {
+		t.Fatal("length-prefixed field streams collided")
+	}
+	if sum("ab", "c") == sum("abc") {
+		t.Fatal("field count not bound into the hash")
+	}
+}
+
+// TestWriteStringEqualsWriteBytes: the two entry points agree.
+func TestWriteStringEqualsWriteBytes(t *testing.T) {
+	a, b := New(), New()
+	a.WriteString("hierarchical change detection")
+	b.WriteBytes([]byte("hierarchical change detection"))
+	if a.Sum() != b.Sum() {
+		t.Fatal("WriteString and WriteBytes disagree")
+	}
+}
+
+// TestWriteFPDeterministic: FP serialization is order-sensitive, so
+// swapping two child fingerprints changes the parent hash.
+func TestWriteFPDeterministic(t *testing.T) {
+	c1 := FP{Hi: 1, Lo: 2}
+	c2 := FP{Hi: 3, Lo: 4}
+	a, b := New(), New()
+	a.WriteFP(c1)
+	a.WriteFP(c2)
+	b.WriteFP(c2)
+	b.WriteFP(c1)
+	if a.Sum() == b.Sum() {
+		t.Fatal("child order not bound into the hash")
+	}
+}
+
+// TestStringFormat: 32 hex digits, stable.
+func TestStringFormat(t *testing.T) {
+	f := FP{Hi: 0x0123456789ABCDEF, Lo: 0xFEDCBA9876543210}
+	want := "0123456789abcdeffedcba9876543210"
+	if got := f.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,88 @@
+package gen
+
+// Class is one named workload: a document shape crossed with a
+// perturbation recipe. The differential batteries (observability
+// invariance, fingerprint-ladder identity) and the benchmark harness
+// share this list so "every workload class" means the same thing
+// everywhere.
+type Class struct {
+	Name string
+	Doc  DocParams
+	// Pert builds the perturbation for a given seed.
+	Pert func(seed int64) PerturbParams
+}
+
+// Classes returns the standard workload classes. The first six are the
+// battery classes: document shape and duplicate pressure crossed with
+// the perturbation mixes, each stressing a different phase (wide
+// sibling lists the generator, near-duplicates the matcher memo,
+// move-heavy the alignment pass). The last, sparse-1pct, is the
+// fingerprint ladder's home turf: a large document of long sentences
+// where roughly 1% of them change between versions, so almost every
+// subtree is claimable wholesale and leaf comparison dominates the
+// unpruned run.
+func Classes() []Class {
+	return []Class{
+		{
+			Name: "default-mix",
+			Doc:  DocParams{},
+			Pert: func(seed int64) PerturbParams { return Mix(seed, 24) },
+		},
+		{
+			Name: "wide-flat",
+			Doc: DocParams{
+				Sections: 2, MinParagraphs: 1, MaxParagraphs: 2,
+				MinSentences: 64, MaxSentences: 96,
+			},
+			Pert: func(seed int64) PerturbParams { return Mix(seed, 200) },
+		},
+		{
+			Name: "near-duplicates",
+			Doc:  DocParams{DuplicateRate: 0.35, Vocabulary: 120},
+			Pert: func(seed int64) PerturbParams { return Mix(seed, 20) },
+		},
+		{
+			Name: "move-heavy",
+			Doc:  DocParams{},
+			Pert: func(seed int64) PerturbParams {
+				return PerturbParams{Seed: seed, MoveSentences: 18, MoveParagraphs: 6}
+			},
+		},
+		{
+			Name: "insert-delete-heavy",
+			Doc:  DocParams{},
+			Pert: func(seed int64) PerturbParams {
+				return PerturbParams{Seed: seed, InsertSentences: 14, DeleteSentences: 14}
+			},
+		},
+		{
+			Name: "update-heavy",
+			Doc:  DocParams{},
+			Pert: func(seed int64) PerturbParams {
+				return PerturbParams{Seed: seed, UpdateSentences: 20, UpdateFraction: 0.4}
+			},
+		},
+		{
+			Name: "sparse-1pct",
+			Doc:  SparseDoc(),
+			Pert: SparsePert,
+		},
+	}
+}
+
+// SparseDoc is the sparse-1pct document shape: ~224 sections of
+// default paragraph fanout (≈ 4000 sentences) with long sentences
+// (16–28 words), sized so the pairing work of an unpruned match dwarfs
+// the linear costs (hashing, generation) the pruned run keeps.
+func SparseDoc() DocParams {
+	return DocParams{
+		Sections: 224,
+		MinWords: 16, MaxWords: 28,
+	}
+}
+
+// SparsePert edits roughly 1% of the sparse document's sentences: the
+// standard Mix recipe at 40 operations against ≈ 4000 sentences.
+func SparsePert(seed int64) PerturbParams {
+	return Mix(seed, 40)
+}

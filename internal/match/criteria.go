@@ -64,6 +64,23 @@ type Options struct {
 	// false) fall through to value-based matching, so mixed data — some
 	// objects keyed, some not — works as the paper describes.
 	Key KeyFunc
+	// PruneIdentical enables the Merkle pre-match pruning pass: before
+	// any label round runs, subtrees with equal content fingerprints are
+	// verified structurally and matched wholesale, and the label rounds
+	// operate on the unmatched residue only (see prune.go). Matching
+	// work then scales with the edited region instead of the document.
+	// The resulting matching may differ from the criteria algorithms'
+	// (identical regions are claimed greedily largest-first), but every
+	// pair satisfies the criteria and the one-to-one invariant. Off by
+	// default; disabled runs are byte-identical to an engine without the
+	// pass.
+	PruneIdentical bool
+	// PruneFP1 and PruneFP2 override the fingerprint indexes consulted
+	// by the pruning pass for t1 and t2 respectively. Nil (the norm)
+	// means each tree's own cached Fingerprints(). Injectable so
+	// collision tests can force a weak hash, and so callers that already
+	// hold fresh indexes can avoid a rebuild.
+	PruneFP1, PruneFP2 *tree.FPIndex
 	// Stats, when non-nil, accumulates the work counters of the §8
 	// empirical study.
 	Stats *Stats
@@ -167,6 +184,19 @@ type Stats struct {
 	// InternalMemoHits counts internal-pair equality answers served from
 	// the memo without re-running common().
 	InternalMemoHits int64
+	// PrunedSubtrees counts wholesale subtree claims committed by the
+	// fingerprint pruning pass (zero unless Options.PruneIdentical).
+	// Pruned work is deliberately outside r1/r2: those count the logical
+	// comparisons of Figures 10–11, which the disabled mode must
+	// reproduce bit for bit.
+	PrunedSubtrees int64
+	// PrunedPairs counts node pairs matched by pruning — the sum of the
+	// claimed subtree sizes.
+	PrunedPairs int64
+	// PruneVerifyNodes counts nodes visited by the structural
+	// verification of fingerprint-equal candidates (the collision
+	// guard). Rejected probes are collisions or availability races.
+	PruneVerifyNodes int64
 }
 
 // Add accumulates other into s.
@@ -177,6 +207,9 @@ func (s *Stats) Add(other Stats) {
 	s.EffectivePartnerChecks += other.EffectivePartnerChecks
 	s.LeafMemoHits += other.LeafMemoHits
 	s.InternalMemoHits += other.InternalMemoHits
+	s.PrunedSubtrees += other.PrunedSubtrees
+	s.PrunedPairs += other.PrunedPairs
+	s.PruneVerifyNodes += other.PruneVerifyNodes
 }
 
 // Total returns r1 + r2, the comparison count reported in Figure 13(b).

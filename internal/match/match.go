@@ -37,6 +37,9 @@ func Match(t1, t2 *tree.Tree, opts Options) (_ *Matching, err error) {
 			return nil, err
 		}
 	}
+	if mr.opts.PruneIdentical {
+		mr.pruneIdentical()
+	}
 	mr.rounds((*matcher).matchLabelQuadratic)
 	if err := mr.runErr(); err != nil {
 		return nil, err
@@ -46,7 +49,9 @@ func Match(t1, t2 *tree.Tree, opts Options) (_ *Matching, err error) {
 
 // matchLabelQuadratic runs one label round of Algorithm Match.
 func (mr *matcher) matchLabelQuadratic(label tree.Label) {
-	mr.matchChainsQuadratic(mr.idx1.Chain(label), mr.idx2.Chain(label))
+	s1 := mr.pruneResidue(mr.idx1.Chain(label), mr.matchedOld)
+	s2 := mr.pruneResidue(mr.idx2.Chain(label), mr.matchedNew)
+	mr.matchChainsQuadratic(s1, s2)
 }
 
 // matchChainsQuadratic pairs unmatched nodes of s1 against unmatched
@@ -102,6 +107,9 @@ func FastMatch(t1, t2 *tree.Tree, opts Options) (_ *Matching, err error) {
 			return nil, err
 		}
 	}
+	if mr.opts.PruneIdentical {
+		mr.pruneIdentical()
+	}
 	mr.rounds((*matcher).matchLabelFast)
 	if err := mr.runErr(); err != nil {
 		return nil, err
@@ -113,8 +121,8 @@ func FastMatch(t1, t2 *tree.Tree, opts Options) (_ *Matching, err error) {
 // alignment of the label chains (steps 2c–2d), then the quadratic pairing
 // of the leftovers (step 2e).
 func (mr *matcher) matchLabelFast(label tree.Label) {
-	s1 := mr.idx1.Chain(label)
-	s2 := mr.idx2.Chain(label)
+	s1 := mr.pruneResidue(mr.idx1.Chain(label), mr.matchedOld)
+	s2 := mr.pruneResidue(mr.idx2.Chain(label), mr.matchedNew)
 	pairs := lcs.Pairs(s1, s2, func(x, y *tree.Node) bool {
 		// Nodes matched by a previous label pass (impossible for a
 		// homogeneous-label schema, but chains can revisit nodes when

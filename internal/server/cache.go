@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"ladiff"
+)
+
+// cacheKey identifies a cached diff by content, not by request bytes:
+// the Merkle root fingerprints of the two parsed documents plus every
+// request option that can change the response. Keying on fingerprints
+// means requests whose source text differs only in ways the parser
+// normalizes away (whitespace, say) still hit the same entry — and a
+// hit is safe to replay because parsing is deterministic: identical
+// tree content always gets identical node IDs, so the cached script's
+// ID references are valid against any content-equal parse.
+type cacheKey struct {
+	oldFP, newFP ladiff.Fingerprint
+	opts         cacheOpts
+}
+
+// cacheOpts is the options digest of the key: a comparable struct of
+// the exact fields that influence the response, so distinct option
+// sets can never alias (a hashed digest could, in principle).
+type cacheOpts struct {
+	format, output                   string
+	matcher                          ladiff.Matcher
+	leafThreshold, internalThreshold float64
+	prune                            bool
+}
+
+// diffCache is the fingerprint-keyed LRU of rendered diff responses —
+// the serving-layer tier of the fingerprint ladder. Only successful,
+// non-degraded responses are stored (a degraded result reflects the
+// budget pressure of its moment, not the documents). Hit/miss/eviction
+// counters land in the server Metrics for /metrics.
+type diffCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List // front = most recently used; values are *cacheEntry
+	byKey map[cacheKey]*list.Element
+	met   *Metrics
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp DiffResponse
+}
+
+func newDiffCache(max int, met *Metrics) *diffCache {
+	return &diffCache{
+		max:   max,
+		lru:   list.New(),
+		byKey: make(map[cacheKey]*list.Element),
+		met:   met,
+	}
+}
+
+// get returns the cached response for k, refreshing its recency. The
+// response is returned by value; the caller may set flags (Cached) on
+// its copy. The interior Script/Delta allocations are shared across
+// hits and are never mutated after store.
+func (c *diffCache) get(k cacheKey) (DiffResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.met.CacheMisses.Add(1)
+		return DiffResponse{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.met.CacheHits.Add(1)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores resp under k, evicting the least-recently-used entry when
+// the cache is full.
+func (c *diffCache) put(k cacheKey, resp DiffResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.lru.PushFront(&cacheEntry{key: k, resp: resp})
+	if c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.met.CacheEvictions.Add(1)
+	}
+	c.met.CacheSize.Store(int64(c.lru.Len()))
+}

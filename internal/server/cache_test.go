@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+const cacheOld = "First sentence here. Second sentence here.\n\nAnother paragraph entirely."
+const cacheNew = "First sentence here. Second sentence changed.\n\nAnother paragraph entirely."
+
+func diffOnce(t *testing.T, ts *httptest.Server, body DiffRequest) DiffResponse {
+	t.Helper()
+	status, raw, _ := postJSON(t, ts, "/v1/diff", body)
+	if status != http.StatusOK {
+		t.Fatalf("diff status %d: %s", status, raw)
+	}
+	var resp DiffResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decoding diff response: %v", err)
+	}
+	return resp
+}
+
+// TestDiffCacheHit: the second identical request is served from the
+// cache — same script, Cached flag set, hit counter bumped — and a
+// request whose source differs only in parser-normalized whitespace
+// hits the same entry (the key is content, not bytes).
+func TestDiffCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{DiffCacheEntries: 8})
+	req := DiffRequest{Old: cacheOld, New: cacheNew, Format: "text"}
+
+	first := diffOnce(t, ts, req)
+	if first.Cached {
+		t.Fatal("first request claims to be cached")
+	}
+	second := diffOnce(t, ts, req)
+	if !second.Cached {
+		t.Fatal("repeat request was not served from cache")
+	}
+	if len(second.Script) != len(first.Script) {
+		t.Fatalf("cached script has %d ops, original %d", len(second.Script), len(first.Script))
+	}
+	for i := range first.Script {
+		if first.Script[i] != second.Script[i] {
+			t.Fatalf("cached op %d differs: %v vs %v", i, first.Script[i], second.Script[i])
+		}
+	}
+
+	// Same content modulo whitespace the text parser normalizes away.
+	req.Old = "First sentence here.   Second sentence here.\n\nAnother paragraph entirely.\n"
+	third := diffOnce(t, ts, req)
+	if !third.Cached {
+		t.Error("whitespace-normalized repeat missed the cache")
+	}
+
+	m := s.Metrics().Snapshot()
+	if m.Cache.Hits != 2 || m.Cache.Misses != 1 {
+		t.Errorf("cache traffic = %d hits / %d misses, want 2/1", m.Cache.Hits, m.Cache.Misses)
+	}
+	if m.Cache.Size != 1 || m.Cache.Capacity != 8 {
+		t.Errorf("cache size/capacity = %d/%d, want 1/8", m.Cache.Size, m.Cache.Capacity)
+	}
+}
+
+// TestDiffCacheKeyedByOptions: the same documents under different
+// output or matcher options are distinct entries.
+func TestDiffCacheKeyedByOptions(t *testing.T) {
+	s, ts := newTestServer(t, Config{DiffCacheEntries: 8})
+
+	diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheNew, Format: "text"})
+	asDelta := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheNew, Format: "text", Output: "delta"})
+	if asDelta.Cached {
+		t.Error("different output served from cache")
+	}
+	asSimple := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheNew, Format: "text", Matcher: "simple"})
+	if asSimple.Cached {
+		t.Error("different matcher served from cache")
+	}
+	// "fast" is the default matcher: naming it explicitly is the same key.
+	asFast := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheNew, Format: "text", Matcher: "fast"})
+	if !asFast.Cached {
+		t.Error("explicit default matcher missed the cache")
+	}
+
+	if m := s.Metrics().Snapshot(); m.Cache.Size != 3 {
+		t.Errorf("cache holds %d entries, want 3", m.Cache.Size)
+	}
+}
+
+// TestDiffCacheEviction: a capacity-1 cache evicts LRU; returning to
+// the evicted pair recomputes.
+func TestDiffCacheEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{DiffCacheEntries: 1})
+
+	a := DiffRequest{Old: cacheOld, New: cacheNew, Format: "text"}
+	b := DiffRequest{Old: "Entirely different text.", New: "Entirely different words.", Format: "text"}
+	diffOnce(t, ts, a)
+	diffOnce(t, ts, b) // evicts a
+	if again := diffOnce(t, ts, a); again.Cached {
+		t.Error("evicted entry was served from cache")
+	}
+	m := s.Metrics().Snapshot()
+	if m.Cache.Evictions < 1 {
+		t.Errorf("evictions = %d, want ≥ 1", m.Cache.Evictions)
+	}
+	if m.Cache.Size != 1 {
+		t.Errorf("cache size = %d, want 1 at capacity 1", m.Cache.Size)
+	}
+}
+
+// TestDiffCacheDisabledByDefault: the zero config has no cache — no
+// counter moves, no Cached responses.
+func TestDiffCacheDisabledByDefault(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := DiffRequest{Old: cacheOld, New: cacheNew, Format: "text"}
+	diffOnce(t, ts, req)
+	if resp := diffOnce(t, ts, req); resp.Cached {
+		t.Error("cacheless server served a cached response")
+	}
+	m := s.Metrics().Snapshot()
+	if m.Cache != (CacheSnapshot{}) {
+		t.Errorf("cacheless server reported cache traffic: %+v", m.Cache)
+	}
+}
+
+// TestDiffCacheSkipsDegraded: a degraded response (budget fallback)
+// must not be stored — the repeat recomputes.
+func TestDiffCacheSkipsDegraded(t *testing.T) {
+	s, ts := newTestServer(t, Config{DiffCacheEntries: 8, MatchWorkBudget: 1})
+	req := DiffRequest{Old: cacheOld, New: cacheNew, Format: "text", Matcher: "simple"}
+
+	first := diffOnce(t, ts, req)
+	if !first.Degraded {
+		t.Skip("budget of 1 did not degrade; cannot exercise the skip")
+	}
+	second := diffOnce(t, ts, req)
+	if second.Cached {
+		t.Error("degraded response was replayed from cache")
+	}
+	if m := s.Metrics().Snapshot(); m.Cache.Hits != 0 {
+		t.Errorf("cache hits = %d, want 0", m.Cache.Hits)
+	}
+}
+
+// TestDiffPruneRequest: the per-request prune knob short-circuits
+// identical documents — zero ops, every node matched — and differing
+// documents still produce a correct script.
+func TestDiffPruneRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	same := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheOld, Format: "text", Prune: true})
+	if len(same.Script) != 0 {
+		t.Errorf("identical documents produced %d ops under prune", len(same.Script))
+	}
+	if same.Stats.Matched != same.Stats.OldNodes {
+		t.Errorf("short circuit matched %d of %d nodes", same.Stats.Matched, same.Stats.OldNodes)
+	}
+
+	pruned := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheNew, Format: "text", Prune: true})
+	base := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheNew, Format: "text"})
+	if len(pruned.Script) == 0 {
+		t.Error("differing documents produced an empty script under prune")
+	}
+	if pruned.Stats.Matched != base.Stats.Matched {
+		t.Errorf("pruned run matched %d nodes, unpruned %d", pruned.Stats.Matched, base.Stats.Matched)
+	}
+}
+
+// TestDiffPruneServerWide: Config.PruneIdentical applies the ladder to
+// requests that did not ask for it.
+func TestDiffPruneServerWide(t *testing.T) {
+	_, ts := newTestServer(t, Config{PruneIdentical: true})
+	same := diffOnce(t, ts, DiffRequest{Old: cacheOld, New: cacheOld, Format: "text"})
+	if len(same.Script) != 0 {
+		t.Errorf("identical documents produced %d ops under server-wide prune", len(same.Script))
+	}
+}

@@ -34,6 +34,13 @@ type DiffRequest struct {
 	// "zs" requests that exhaust the budget fall back to "fast" and the
 	// response is marked degraded.
 	Matcher string `json:"matcher,omitempty"`
+	// Prune opts this request into the fingerprint ladder: the Merkle
+	// identical-subtree pruning pass before the label rounds and the
+	// root-hash short circuit for unchanged documents. The script is
+	// still verified end to end; only untouched regions skip the
+	// matching criteria. Implied for every request when the server is
+	// configured with PruneIdentical.
+	Prune bool `json:"prune,omitempty"`
 	// TimeoutMs bounds this request's processing time; zero means the
 	// server default, and values above the server maximum are clamped.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
@@ -65,6 +72,10 @@ type DiffResponse struct {
 	// the new document. DegradedReasons says what was given up.
 	Degraded        bool     `json:"degraded,omitempty"`
 	DegradedReasons []string `json:"degradedReasons,omitempty"`
+	// Cached reports that the response was served from the
+	// fingerprint-keyed diff cache without re-running the pipeline;
+	// Stats then describe the original computation, not this request.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // PatchRequest is the body of POST /v1/patch: apply Script to Base
@@ -335,31 +346,86 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	s.met.OldNodes.Add(int64(oldT.Len()))
 	s.met.NewNodes.Add(int64(newT.Len()))
 
-	// Phase 2: match (context- and budget-bounded). A budgeted simple/zs
-	// run that exhausts the work budget degrades to FastMatch here.
-	t0 = time.Now()
-	m, degradedReasons, err := ladiff.FindMatchingFor(oldT, newT, matcher, ladiff.MatchOptions{
-		Ctx:               ctx,
-		Parallelism:       s.cfg.MatchParallelism,
-		LeafThreshold:     req.LeafThreshold,
-		InternalThreshold: req.InternalThreshold,
-		WorkBudget:        s.cfg.MatchWorkBudget,
-	})
-	if err != nil {
-		s.failPipeline(w, err)
-		return
+	// Cache lookup: the key is the content (Merkle root fingerprints of
+	// both parsed trees) plus every option that shapes the response. A
+	// hit skips match, generation, and render entirely — the O(1) serving
+	// path of the fingerprint ladder.
+	prune := req.Prune || s.cfg.PruneIdentical
+	var ckey cacheKey
+	if s.cache != nil {
+		ckey = cacheKey{
+			oldFP: ladiff.RootFingerprint(oldT),
+			newFP: ladiff.RootFingerprint(newT),
+			opts: cacheOpts{
+				format:            req.Format,
+				output:            output,
+				matcher:           matcher,
+				leafThreshold:     req.LeafThreshold,
+				internalThreshold: req.InternalThreshold,
+				prune:             prune,
+			},
+		}
+		_, csp := obs.StartSpan(ctx, "cache")
+		hit, ok := s.cache.get(ckey)
+		if ok {
+			csp.Str("result", "hit")
+			csp.End()
+			hit.Cached = true
+			s.met.Diffs.Add(1)
+			s.met.RequestLatency.Observe(time.Since(start))
+			writeJSON(w, http.StatusOK, hit)
+			return
+		}
+		csp.Str("result", "miss")
+		csp.End()
 	}
-	observe(PhaseMatch, time.Since(t0))
 
-	// Phase 3: generate (context-bounded; degrades to the scan
-	// generator if the indexed path fails its self-check).
+	var (
+		m               *ladiff.Matching
+		degradedReasons []string
+		res             *ladiff.Result
+	)
+	// Root-hash short circuit: when pruning is on and the documents are
+	// fingerprint-identical (structurally confirmed), the whole
+	// match+generate pipeline is known — empty script, every node
+	// matched positionally.
 	t0 = time.Now()
-	res, err := ladiff.ComputeEditScriptWith(oldT, newT, m, ladiff.GenOptions{Ctx: ctx})
-	if err != nil {
-		s.failPipeline(w, err)
-		return
+	if prune {
+		if sc, ok := ladiff.ShortCircuitIdentical(ctx, oldT, newT); ok {
+			res, m = sc, sc.Matching
+			observe(PhaseMatch, time.Since(t0))
+			observe(PhaseGenerate, 0)
+		}
 	}
-	observe(PhaseGenerate, time.Since(t0))
+	if res == nil {
+		// Phase 2: match (context- and budget-bounded). A budgeted
+		// simple/zs run that exhausts the work budget degrades to
+		// FastMatch here.
+		mm, reasons, err := ladiff.FindMatchingFor(oldT, newT, matcher, ladiff.MatchOptions{
+			Ctx:               ctx,
+			Parallelism:       s.cfg.MatchParallelism,
+			LeafThreshold:     req.LeafThreshold,
+			InternalThreshold: req.InternalThreshold,
+			WorkBudget:        s.cfg.MatchWorkBudget,
+			PruneIdentical:    prune,
+		})
+		if err != nil {
+			s.failPipeline(w, err)
+			return
+		}
+		m, degradedReasons = mm, reasons
+		observe(PhaseMatch, time.Since(t0))
+
+		// Phase 3: generate (context-bounded; degrades to the scan
+		// generator if the indexed path fails its self-check).
+		t0 = time.Now()
+		res, err = ladiff.ComputeEditScriptWith(oldT, newT, m, ladiff.GenOptions{Ctx: ctx})
+		if err != nil {
+			s.failPipeline(w, err)
+			return
+		}
+		observe(PhaseGenerate, time.Since(t0))
+	}
 	if res.Degraded {
 		degradedReasons = append(degradedReasons, res.DegradedReasons...)
 	}
@@ -411,6 +477,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = true
 		resp.DegradedReasons = degradedReasons
 		s.met.Degraded.Add(1)
+	}
+	// Store successful, non-degraded responses only: a degraded result
+	// reflects this moment's budget pressure, not the documents, and
+	// must not be replayed to later requests.
+	if s.cache != nil && !resp.Degraded {
+		s.cache.put(ckey, resp)
 	}
 	s.met.Diffs.Add(1)
 	s.met.RequestLatency.Observe(time.Since(start))

@@ -40,6 +40,9 @@ var phaseNames = [numPhases]string{"parse", "match", "generate", "render"}
 //	degraded_total            successful responses served in a degraded mode (budget
 //	                          fallback to FastMatch, or scan-generator fallback)
 //	old_nodes_total/new_nodes_total  cumulative parsed node counts (workload volume)
+//	cache.{hits,misses,evictions}    fingerprint-keyed diff-cache traffic (all zero
+//	                                 when DiffCacheEntries is 0)
+//	cache.{size,capacity}            current entry count and configured bound
 //	phase_us.<phase>          latency histogram of each *completed* phase —
 //	                          a request that dies mid-phase never records it,
 //	                          which is how a deadline abort is observable here
@@ -61,6 +64,14 @@ type Metrics struct {
 	OldNodes         atomic.Int64
 	NewNodes         atomic.Int64
 
+	// Diff-cache counters, owned by diffCache (CacheCapacity is set
+	// once at New). All stay zero when the cache is disabled.
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+	CacheSize      atomic.Int64
+	CacheCapacity  atomic.Int64
+
 	PhaseLatency   [numPhases]Histogram
 	RequestLatency Histogram
 }
@@ -77,29 +88,42 @@ type HistogramSnapshot = obs.HistogramSnapshot
 
 // MetricsSnapshot is the JSON document GET /metrics serves.
 type MetricsSnapshot struct {
-	RequestsTotal         int64                        `json:"requests_total"`
-	DiffsTotal            int64                        `json:"diffs_total"`
-	PatchesTotal          int64                        `json:"patches_total"`
-	InFlight              int64                        `json:"in_flight"`
-	Queued                int64                        `json:"queued"`
-	RejectedQueueTotal    int64                        `json:"rejected_queue_total"`
-	RejectedSizeTotal     int64                        `json:"rejected_size_total"`
-	RejectedDrainingTotal int64                        `json:"rejected_draining_total"`
-	TimeoutsTotal         int64                        `json:"timeouts_total"`
-	BadRequestsTotal      int64                        `json:"bad_requests_total"`
-	ErrorsTotal           int64                        `json:"errors_total"`
-	PanicsTotal           int64                        `json:"panics_total"`
-	DegradedTotal         int64                        `json:"degraded_total"`
-	OldNodesTotal         int64                        `json:"old_nodes_total"`
-	NewNodesTotal         int64                        `json:"new_nodes_total"`
-	PhaseUS               map[string]HistogramSnapshot `json:"phase_us"`
-	RequestUS             HistogramSnapshot            `json:"request_us"`
+	RequestsTotal         int64 `json:"requests_total"`
+	DiffsTotal            int64 `json:"diffs_total"`
+	PatchesTotal          int64 `json:"patches_total"`
+	InFlight              int64 `json:"in_flight"`
+	Queued                int64 `json:"queued"`
+	RejectedQueueTotal    int64 `json:"rejected_queue_total"`
+	RejectedSizeTotal     int64 `json:"rejected_size_total"`
+	RejectedDrainingTotal int64 `json:"rejected_draining_total"`
+	TimeoutsTotal         int64 `json:"timeouts_total"`
+	BadRequestsTotal      int64 `json:"bad_requests_total"`
+	ErrorsTotal           int64 `json:"errors_total"`
+	PanicsTotal           int64 `json:"panics_total"`
+	DegradedTotal         int64 `json:"degraded_total"`
+	OldNodesTotal         int64 `json:"old_nodes_total"`
+	NewNodesTotal         int64 `json:"new_nodes_total"`
+	// Cache reports the fingerprint-keyed diff cache: hit/miss/eviction
+	// traffic plus current size and configured capacity (all zero when
+	// DiffCacheEntries is 0).
+	Cache     CacheSnapshot                `json:"cache"`
+	PhaseUS   map[string]HistogramSnapshot `json:"phase_us"`
+	RequestUS HistogramSnapshot            `json:"request_us"`
 	// Engine merges the process-wide obs registry into the scrape: the
 	// engine-level gauges (matcher memo hits, match/gen-index
 	// fallbacks, buffer-pool gets/allocs/recycles). The gauges update
 	// only while observability is armed (ladiffd -obs, on by default),
 	// so a disabled process reports zeros here at no hot-path cost.
 	Engine map[string]int64 `json:"engine"`
+}
+
+// CacheSnapshot is the wire form of the diff-cache counters.
+type CacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int64 `json:"size"`
+	Capacity  int64 `json:"capacity"`
 }
 
 // Snapshot captures every counter at one instant (counters are read
@@ -122,9 +146,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DegradedTotal:         m.Degraded.Load(),
 		OldNodesTotal:         m.OldNodes.Load(),
 		NewNodesTotal:         m.NewNodes.Load(),
-		PhaseUS:               make(map[string]HistogramSnapshot, numPhases),
-		RequestUS:             m.RequestLatency.Snapshot(),
-		Engine:                obs.Default.Counters(),
+		Cache: CacheSnapshot{
+			Hits:      m.CacheHits.Load(),
+			Misses:    m.CacheMisses.Load(),
+			Evictions: m.CacheEvictions.Load(),
+			Size:      m.CacheSize.Load(),
+			Capacity:  m.CacheCapacity.Load(),
+		},
+		PhaseUS:   make(map[string]HistogramSnapshot, numPhases),
+		RequestUS: m.RequestLatency.Snapshot(),
+		Engine:    obs.Default.Counters(),
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		s.PhaseUS[phaseNames[p]] = m.PhaseLatency[p].Snapshot()

@@ -52,6 +52,18 @@ type Config struct {
 	// 0 means 1: under concurrent load, parallelism across requests
 	// beats parallelism within one.
 	MatchParallelism int
+	// PruneIdentical turns on the fingerprint ladder for every diff
+	// request: the Merkle identical-subtree pruning pass before the
+	// label rounds and the root-hash short circuit for unchanged
+	// documents. Off by default — the disabled mode computes no
+	// fingerprints and is byte-identical to the pre-ladder server.
+	// Individual requests can opt in with "prune": true regardless.
+	PruneIdentical bool
+	// DiffCacheEntries bounds the fingerprint-keyed LRU cache of diff
+	// responses: a repeat of a (content, options) pair the cache still
+	// holds is served without re-running the pipeline. 0 (the default)
+	// disables caching entirely.
+	DiffCacheEntries int
 	// Logger receives structured access logs. Nil means slog.Default.
 	Logger *slog.Logger
 }
@@ -96,6 +108,9 @@ type Server struct {
 	adm *admission
 	met *Metrics
 	log *slog.Logger
+	// cache is the fingerprint-keyed diff LRU; nil when
+	// Config.DiffCacheEntries is 0.
+	cache *diffCache
 
 	// draining flips once at shutdown: new work is refused with 503
 	// while requests already in flight run to completion. It is guarded
@@ -117,6 +132,10 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, met: &Metrics{}, log: cfg.Logger}
 	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, &s.met.Queued)
+	if cfg.DiffCacheEntries > 0 {
+		s.cache = newDiffCache(cfg.DiffCacheEntries, s.met)
+		s.met.CacheCapacity.Store(int64(cfg.DiffCacheEntries))
+	}
 	return s
 }
 

@@ -72,8 +72,13 @@ func buildIndex(t *Tree) *Index {
 // invalidateIndex drops the cached index after a structural mutation.
 // The maintained PosIndex (positions.go) is deliberately not dropped
 // here: the same mutations that invalidate this snapshot notify the
-// position index incrementally through onAttach/onDetach hooks.
-func (t *Tree) invalidateIndex() { t.index = nil }
+// position index incrementally through onAttach/onDetach hooks. The
+// fingerprint cache rides along: every mutation that can invalidate
+// the structural snapshot also changes subtree content hashes.
+func (t *Tree) invalidateIndex() {
+	t.index = nil
+	t.invalidateFingerprints()
+}
 
 // IsAncestor reports whether a is a proper ancestor of n, by interval
 // containment. Nodes not covered by the index (inserted after it was

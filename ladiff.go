@@ -242,6 +242,62 @@ func ParseJSONLimited(src string, lim ParseLimits) (*Tree, error) {
 // identifiers (§3.1).
 func Isomorphic(a, b *Tree) bool { return tree.Isomorphic(a, b) }
 
+// Fingerprint is a 128-bit Merkle content hash of a subtree: a function
+// of the node's label, value, and ordered child fingerprints, and of
+// nothing else (not node IDs, not position among siblings). Equal
+// subtree content ⇒ equal fingerprints; the converse holds up to hash
+// collision, which every consumer in this package re-verifies
+// structurally before acting on.
+type Fingerprint = tree.Fingerprint
+
+// RootFingerprint returns the Merkle fingerprint of t's whole content,
+// computing and caching the per-subtree index on first use (any
+// mutation invalidates it). The zero Fingerprint is returned for an
+// empty tree.
+func RootFingerprint(t *Tree) Fingerprint {
+	if t == nil || t.Root() == nil {
+		return Fingerprint{}
+	}
+	return t.Fingerprints().Root()
+}
+
+// SubtreeFingerprints returns every node of t paired with the
+// fingerprint of the subtree it roots, in preorder — the inspection
+// view behind `ladiff -hash -v`.
+func SubtreeFingerprints(t *Tree) []NodeFingerprint {
+	if t == nil || t.Root() == nil {
+		return nil
+	}
+	ix := t.Fingerprints()
+	nodes := t.PreOrder()
+	out := make([]NodeFingerprint, len(nodes))
+	for i, n := range nodes {
+		fp, _ := ix.Of(n.ID())
+		out[i] = NodeFingerprint{Node: n, FP: fp}
+	}
+	return out
+}
+
+// NodeFingerprint pairs a node with its subtree fingerprint.
+// NodeDepth returns the number of edges from t's root to n — zero for
+// the root itself. Exposed for fingerprint-table renderers (`ladiff
+// -hash -v`) that indent by depth.
+func NodeDepth(n *Node) int { return tree.Depth(n) }
+
+type NodeFingerprint struct {
+	Node *Node
+	FP   Fingerprint
+}
+
+// ShortCircuitIdentical is the root-hash fast path of the fingerprint
+// ladder: when old and new carry the same root fingerprint (confirmed
+// by a structural walk, so a collision can never slip through), the
+// complete empty-diff Result is returned without running matching or
+// generation. ok is false when the trees differ; proceed normally.
+func ShortCircuitIdentical(ctx context.Context, old, new *Tree) (res *Result, ok bool) {
+	return core.ShortCircuitIdentical(ctx, old, new)
+}
+
 // ParseLatex parses the LaDiff LaTeX subset (§7) into a document tree.
 func ParseLatex(src string) (*Tree, error) { return latex.Parse(src) }
 
