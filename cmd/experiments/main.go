@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,matchperf,editperf,servperf]
+//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,qualityperf,matchperf,editperf,servperf]
 //
 // With no -run flag every experiment runs. The output of a full run is
 // recorded in EXPERIMENTS.md alongside the paper's numbers.
@@ -27,12 +27,14 @@ func main() {
 	servOut := flag.String("servout", "BENCH_serving.json", "output path for the servperf report")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the obsperf report")
 	hashOut := flag.String("hashout", "BENCH_hashing.json", "output path for the hashperf report")
+	qualityOut := flag.String("qualityout", "BENCH_quality.json", "output path for the qualityperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
 	servPerfOutPath = *servOut
 	obsPerfOutPath = *obsOut
 	hashPerfOutPath = *hashOut
+	qualityPerfOutPath = *qualityOut
 
 	all := []struct {
 		name string
@@ -46,6 +48,7 @@ func main() {
 		{"editscript", runEditScript},
 		{"ablation", runAblation},
 		{"quality", runQuality},
+		{"qualityperf", runQualityPerf},
 		{"matchperf", runMatchPerf},
 		{"editperf", runEditPerf},
 		{"servperf", runServPerf},
@@ -255,6 +258,43 @@ func runQuality() error {
 		})
 	}
 	fmt.Print(bench.FormatTable([]string{"dup rate", "violations", "A(1) cost", "A(3) cost", "optimal", "A(1) gap", "A(3) gap"}, rows))
+	fmt.Println()
+	return nil
+}
+
+// qualityPerfOutPath is where runQualityPerf writes BENCH_quality.json.
+var qualityPerfOutPath = "BENCH_quality.json"
+
+// qualityPerfSections overrides the E14 size sweep; nil means the
+// default. The smoke test trims it so the suite stays fast.
+var qualityPerfSections []int
+
+func runQualityPerf() error {
+	report, err := bench.CollectQualityPerf(0, qualityPerfSections)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E14: quality/runtime frontier — every engine × workload class ==")
+	fmt.Println("   (cost ratio = script cost / optimal edit distance under aligned pricing;")
+	fmt.Println("    1.0 = optimal; the oracle op set has no move, so move-heavy criteria")
+	fmt.Println("    scripts can undercut it — a model gap, not a broken oracle)")
+	var rows [][]string
+	for _, r := range report.Rows {
+		rows = append(rows, []string{
+			r.Class, r.Engine, fmt.Sprint(r.OldNodes),
+			fmt.Sprintf("%.2fms", float64(r.NsPerOp)/1e6),
+			fmt.Sprint(r.ScriptOps),
+			fmt.Sprintf("%.1f", r.ScriptCost),
+			fmt.Sprintf("%.1f", r.OptimalCost),
+			fmt.Sprintf("%.2fx", r.CostRatio),
+		})
+	}
+	fmt.Print(bench.FormatTable(
+		[]string{"class", "engine", "nodes", "time", "ops", "cost", "optimal", "ratio"}, rows))
+	if err := report.WriteQualityPerf(qualityPerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", qualityPerfOutPath)
 	fmt.Println()
 	return nil
 }

@@ -83,6 +83,21 @@ func TestRunQuality(t *testing.T) {
 	}
 }
 
+func TestRunQualityPerf(t *testing.T) {
+	qualityPerfOutPath = t.TempDir() + "/BENCH_quality.json"
+	qualityPerfSections = []int{1}
+	defer func() { qualityPerfSections = nil }()
+	out := capture(t, runQualityPerf)
+	for _, want := range []string{"cost ratio", "rted", "optimal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(qualityPerfOutPath); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+}
+
 func TestMainDispatch(t *testing.T) {
 	// Unknown experiment names must leave ran == 0; exercised through
 	// the want map logic indirectly by calling a known runner above.

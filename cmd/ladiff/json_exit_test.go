@@ -20,19 +20,19 @@ import (
 func TestExitCodes(t *testing.T) {
 	oldP, newP := texPaths(t)
 
-	if err := run(oldP, newP, "", "summary", 0, 0, false, -1, "", false, false, false); cli.ExitCode(err) != 0 {
+	if err := run(oldP, newP, "", "summary", 0, 0, false, "", -1, "", false, false, false); cli.ExitCode(err) != 0 {
 		t.Errorf("successful run: exit %d, want 0 (%v)", cli.ExitCode(err), err)
 	}
-	if err := run("missing.tex", newP, "", "marked", 0, 0, false, -1, "", false, false, false); cli.ExitCode(err) != cli.ExitParse {
+	if err := run("missing.tex", newP, "", "marked", 0, 0, false, "", -1, "", false, false, false); cli.ExitCode(err) != cli.ExitParse {
 		t.Errorf("missing input: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitParse, err)
 	}
-	if err := run(oldP, newP, "", "marked", 0.3, 0, false, -1, "", false, false, false); cli.ExitCode(err) != cli.ExitDiff {
+	if err := run(oldP, newP, "", "marked", 0.3, 0, false, "", -1, "", false, false, false); cli.ExitCode(err) != cli.ExitDiff {
 		t.Errorf("invalid threshold: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitDiff, err)
 	}
-	if err := run(oldP, newP, "", "nosuch", 0, 0, false, -1, "", false, false, false); cli.ExitCode(err) != cli.ExitUsage {
+	if err := run(oldP, newP, "", "nosuch", 0, 0, false, "", -1, "", false, false, false); cli.ExitCode(err) != cli.ExitUsage {
 		t.Errorf("unknown output: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitUsage, err)
 	}
-	if err := run(oldP, newP, "", "query", 0, 0, false, -1, "", false, false, false); cli.ExitCode(err) != cli.ExitUsage {
+	if err := run(oldP, newP, "", "query", 0, 0, false, "", -1, "", false, false, false); cli.ExitCode(err) != cli.ExitUsage {
 		t.Errorf("missing -query: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitUsage, err)
 	}
 }
@@ -46,7 +46,7 @@ func TestExitInternal(t *testing.T) {
 		{Point: fault.Match, Mode: fault.ModePanic},
 	}})
 	defer deactivate()
-	err := run(oldP, newP, "", "summary", 0, 0, false, -1, "", false, false, false)
+	err := run(oldP, newP, "", "summary", 0, 0, false, "", -1, "", false, false, false)
 	if cli.ExitCode(err) != cli.ExitInternal {
 		t.Errorf("engine panic: exit %d, want %d (%v)", cli.ExitCode(err), cli.ExitInternal, err)
 	}
@@ -58,7 +58,7 @@ func TestExitInternal(t *testing.T) {
 func TestJSONFlagMatchesServer(t *testing.T) {
 	oldP, newP := texPaths(t)
 	cliOut, err := capture(t, func() error {
-		return run(oldP, newP, "", "marked", 0, 0, false, -1, "", true, false, false)
+		return run(oldP, newP, "", "marked", 0, 0, false, "", -1, "", true, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)

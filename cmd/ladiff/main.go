@@ -15,6 +15,11 @@
 //	-t      0.5..1.0          internal match threshold (§5, default 0.6)
 //	-f      0..1              leaf match threshold (§5, default 0.5)
 //	-post                     enable the §8 post-processing repair pass
+//	-engine fast|simple|zs|rted
+//	                          matching engine (§5): FastMatch (default),
+//	                          Algorithm Match, or an optimal edit-mapping
+//	                          oracle (Zhang–Shasha or RTED); not combined
+//	                          with -level, which picks its own engines
 //	-level  -1|0..3           optimality level A(k) (§9); -1 = plain
 //	                          FastMatch pipeline (default)
 //	-query  EXPR              with -out query: delta query, e.g.
@@ -40,6 +45,7 @@
 //	ladiff -out script old.html new.html
 //	ladiff -out summary -t 0.7 old.txt new.txt
 //	ladiff -level 3 -out summary old.tex new.tex
+//	ladiff -engine rted -out summary old.tex new.tex
 //	ladiff -out query -query "**/sentence[mrk]" old.tex new.tex
 //	ladiff -prune -out summary old.tex new.tex
 //	ladiff -hash old.tex new.tex && echo unchanged
@@ -66,6 +72,7 @@ func main() {
 	tThresh := flag.Float64("t", 0, "internal match threshold t in [0.5,1] (0 = default)")
 	fThresh := flag.Float64("f", 0, "leaf match threshold f in [0,1] (0 = default)")
 	post := flag.Bool("post", false, "enable the §8 post-processing repair pass")
+	engine := flag.String("engine", "", "matching engine: fast (default), simple, zs, or rted")
 	level := flag.Int("level", -1, "optimality level A(k), 0..3; -1 = plain pipeline")
 	query := flag.String("query", "", "delta query expression for -out query")
 	jsonOut := flag.Bool("json", false, "emit the delta tree as JSON in the ladiffd wire format (overrides -out)")
@@ -97,7 +104,7 @@ func main() {
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *level, *query, *jsonOut, *trace, *prune); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *format, *out, *tThresh, *fThresh, *post, *engine, *level, *query, *jsonOut, *trace, *prune); err != nil {
 		fmt.Fprintf(os.Stderr, "ladiff: %v\n", err)
 		os.Exit(cli.ExitCode(err))
 	}
@@ -147,7 +154,16 @@ func runHash(paths []string, format string, verbose bool) (differ bool, err erro
 	return false, nil
 }
 
-func run(oldPath, newPath, format, out string, t, f float64, post bool, level int, query string, jsonOut, trace, prune bool) error {
+func run(oldPath, newPath, format, out string, t, f float64, post bool, engine string, level int, query string, jsonOut, trace, prune bool) error {
+	matcher, ok := ladiff.MatcherByName(engine)
+	if !ok {
+		return cli.UsageError(fmt.Errorf("unknown -engine %q (want one of %v)", engine, ladiff.EngineNames()))
+	}
+	if engine != "" && level >= 0 {
+		// The optimality ladder picks its own engines per level; a fixed
+		// engine under it would silently be ignored.
+		return cli.UsageError(fmt.Errorf("-engine cannot be combined with -level"))
+	}
 	// -trace arms the observability layer for this process and hangs
 	// the whole run under one trace; the span tree (parse, match
 	// rounds, generation phases, serialize) prints to stderr at the
@@ -192,7 +208,7 @@ func run(oldPath, newPath, format, out string, t, f float64, post bool, level in
 		mopts.Ctx = ctx
 		res, err = ladiff.DiffAtLevel(oldT, newT, ladiff.OptimalityLevel(level), mopts)
 	} else {
-		res, err = ladiff.Diff(oldT, newT, ladiff.Options{PostProcess: post, Match: mopts, Ctx: ctx})
+		res, err = ladiff.Diff(oldT, newT, ladiff.Options{Matcher: matcher, PostProcess: post, Match: mopts, Ctx: ctx})
 	}
 	if err != nil {
 		return cli.PipelineError(err)

@@ -36,7 +36,7 @@ func texPaths(t *testing.T) (string, string) {
 func TestMarkedOutput(t *testing.T) {
 	oldP, newP := texPaths(t)
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "marked", 0, 0, false, -1, "", false, false, false)
+		return run(oldP, newP, "", "marked", 0, 0, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestMarkedOutput(t *testing.T) {
 func TestScriptOutput(t *testing.T) {
 	oldP, newP := texPaths(t)
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "latex", "script", 0, 0, true, -1, "", false, false, false)
+		return run(oldP, newP, "latex", "script", 0, 0, true, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestScriptOutput(t *testing.T) {
 func TestSummaryOutput(t *testing.T) {
 	oldP, newP := texPaths(t)
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "summary", 0.7, 0.6, false, -1, "", false, false, false)
+		return run(oldP, newP, "", "summary", 0.7, 0.6, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestSummaryOutput(t *testing.T) {
 func TestDeltaOutput(t *testing.T) {
 	oldP, newP := texPaths(t)
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "delta", 0, 0, false, -1, "", false, false, false)
+		return run(oldP, newP, "", "delta", 0, 0, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestTextAndHTMLFormats(t *testing.T) {
 	os.WriteFile(oldP, []byte("A stable sentence stays. A doomed one goes away. Another stable one anchors."), 0o644)
 	os.WriteFile(newP, []byte("A stable sentence stays. A new one arrives today. Another stable one anchors."), 0o644)
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "summary", 0, 0, false, -1, "", false, false, false)
+		return run(oldP, newP, "", "summary", 0, 0, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestTextAndHTMLFormats(t *testing.T) {
 	os.WriteFile(oldH, []byte("<p>A stable sentence stays here. Another stable sentence also stays.</p>"), 0o644)
 	os.WriteFile(newH, []byte("<p>A stable sentence stays here. Another stable sentence also stays. Plus one brand new arrival.</p>"), 0o644)
 	out, err = capture(t, func() error {
-		return run(oldH, newH, "", "summary", 0, 0, false, -1, "", false, false, false)
+		return run(oldH, newH, "", "summary", 0, 0, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestTextAndHTMLFormats(t *testing.T) {
 func TestQueryOutput(t *testing.T) {
 	oldP, newP := texPaths(t)
 	out, err := capture(t, func() error {
-		return run(oldP, newP, "", "query", 0, 0, false, -1, "**/sentence[changed]", false, false, false)
+		return run(oldP, newP, "", "query", 0, 0, false, "", -1, "**/sentence[changed]", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestQueryOutput(t *testing.T) {
 	if !strings.Contains(out, "document/section/paragraph/sentence") {
 		t.Fatalf("query output:\n%s", out)
 	}
-	if err := run(oldP, newP, "", "query", 0, 0, false, -1, "", false, false, false); err == nil {
+	if err := run(oldP, newP, "", "query", 0, 0, false, "", -1, "", false, false, false); err == nil {
 		t.Fatal("expected error for missing -query")
 	}
 }
@@ -140,7 +140,7 @@ func TestLevelFlag(t *testing.T) {
 	oldP, newP := texPaths(t)
 	for _, level := range []int{0, 1, 2, 3} {
 		out, err := capture(t, func() error {
-			return run(oldP, newP, "", "summary", 0, 0, false, level, "", false, false, false)
+			return run(oldP, newP, "", "summary", 0, 0, false, "", level, "", false, false, false)
 		})
 		if err != nil {
 			t.Fatalf("level %d: %v", level, err)
@@ -149,23 +149,23 @@ func TestLevelFlag(t *testing.T) {
 			t.Fatalf("level %d produced no summary:\n%s", level, out)
 		}
 	}
-	if err := run(oldP, newP, "", "summary", 0, 0, false, 9, "", false, false, false); err == nil {
+	if err := run(oldP, newP, "", "summary", 0, 0, false, "", 9, "", false, false, false); err == nil {
 		t.Fatal("expected error for bad level")
 	}
 }
 
 func TestErrors(t *testing.T) {
 	oldP, newP := texPaths(t)
-	if err := run("missing.tex", newP, "", "marked", 0, 0, false, -1, "", false, false, false); err == nil {
+	if err := run("missing.tex", newP, "", "marked", 0, 0, false, "", -1, "", false, false, false); err == nil {
 		t.Fatal("expected error for missing file")
 	}
-	if err := run(oldP, newP, "nosuch", "marked", 0, 0, false, -1, "", false, false, false); err == nil {
+	if err := run(oldP, newP, "nosuch", "marked", 0, 0, false, "", -1, "", false, false, false); err == nil {
 		t.Fatal("expected error for unknown format")
 	}
-	if err := run(oldP, newP, "", "nosuch", 0, 0, false, -1, "", false, false, false); err == nil {
+	if err := run(oldP, newP, "", "nosuch", 0, 0, false, "", -1, "", false, false, false); err == nil {
 		t.Fatal("expected error for unknown output")
 	}
-	if err := run(oldP, newP, "", "marked", 0.3, 0, false, -1, "", false, false, false); err == nil {
+	if err := run(oldP, newP, "", "marked", 0.3, 0, false, "", -1, "", false, false, false); err == nil {
 		t.Fatal("expected error for t < 0.5")
 	}
 }
@@ -206,13 +206,13 @@ func captureBoth(t *testing.T, fn func() error) (stdout, stderr string, err erro
 func TestTraceFlag(t *testing.T) {
 	oldP, newP := texPaths(t)
 	plain, err := capture(t, func() error {
-		return run(oldP, newP, "", "marked", 0, 0, false, -1, "", false, false, false)
+		return run(oldP, newP, "", "marked", 0, 0, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	traced, trace, err := captureBoth(t, func() error {
-		return run(oldP, newP, "", "marked", 0, 0, false, -1, "", false, true, false)
+		return run(oldP, newP, "", "marked", 0, 0, false, "", -1, "", false, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -262,13 +262,13 @@ func TestTraceFlag(t *testing.T) {
 func TestTraceFlagDisarmsAfterRun(t *testing.T) {
 	oldP, newP := texPaths(t)
 	_, _, err := captureBoth(t, func() error {
-		return run(oldP, newP, "", "marked", 0, 0, false, -1, "", false, true, false)
+		return run(oldP, newP, "", "marked", 0, 0, false, "", -1, "", false, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, trace, err := captureBoth(t, func() error {
-		return run(oldP, newP, "", "marked", 0, 0, false, -1, "", false, false, false)
+		return run(oldP, newP, "", "marked", 0, 0, false, "", -1, "", false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)

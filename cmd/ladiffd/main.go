@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"ladiff"
 	"ladiff/internal/fault"
 	"ladiff/internal/obs"
 	"ladiff/internal/server"
@@ -34,6 +35,7 @@ func main() {
 	maxDepth := flag.Int("max-depth", 0, "max depth per parsed document (0 = 10000)")
 	matchBudget := flag.Int64("match-budget", 0, "match work budget per request in §8 work units (0 = unlimited)")
 	parallelism := flag.Int("match-parallelism", 0, "matcher parallelism per request (0 = 1; serve many requests, not one)")
+	engine := flag.String("engine", "", "matching engine for requests that don't name one: fast (default), simple, zs, or rted")
 	prune := flag.Bool("prune", false, "claim fingerprint-identical subtrees wholesale on every diff (per-request opt-in stays available without it)")
 	cacheEntries := flag.Int("cache", 0, "fingerprint-keyed diff cache capacity in entries (0 = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
@@ -43,6 +45,10 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if _, ok := ladiff.MatcherByName(*engine); !ok {
+		logger.Error("unknown -engine", "engine", *engine, "want", ladiff.EngineNames())
+		os.Exit(2)
+	}
 	if *obsOn {
 		defer obs.Activate(obs.Config{Ring: obs.NewRing(*obsTraces)})()
 		logger.Info("observability armed", "trace_ring", *obsTraces)
@@ -66,6 +72,7 @@ func main() {
 		MaxTreeDepth:     *maxDepth,
 		MatchWorkBudget:  *matchBudget,
 		MatchParallelism: *parallelism,
+		DefaultEngine:    *engine,
 		PruneIdentical:   *prune,
 		DiffCacheEntries: *cacheEntries,
 		Logger:           logger,

@@ -257,8 +257,11 @@ func ZSScaling(sections []int) ([]ZSPoint, error) {
 	}
 	var out []ZSPoint
 	for _, secs := range sections {
-		doc := gen.Document(gen.DocParams{Seed: int64(800 + secs), Sections: secs, Vocabulary: 8000})
-		pert, err := gen.Perturb(doc, gen.Mix(int64(900+secs), 6))
+		// The workload is the shared gen.Sections sweep, so these rows
+		// measure the same documents the quality harness (E14) prices.
+		c := gen.Sections(secs)
+		doc := gen.Document(c.Doc)
+		pert, err := gen.Perturb(doc, c.Pert(int64(900+secs)))
 		if err != nil {
 			return nil, err
 		}

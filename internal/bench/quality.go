@@ -1,12 +1,9 @@
 package bench
 
 import (
-	"ladiff/internal/compare"
 	"ladiff/internal/core"
-	"ladiff/internal/edit"
 	"ladiff/internal/gen"
 	"ladiff/internal/match"
-	"ladiff/internal/tree"
 	"ladiff/internal/zs"
 )
 
@@ -41,35 +38,13 @@ type QualityPoint struct {
 // applications" (§8).
 //
 // Pricing is aligned across the two operation sets so the ratio
-// isolates matching quality: on both sides an exact-equal pair costs 0,
-// a similar pair (within the leaf threshold) costs 1 to update/relabel,
-// and a dissimilar replacement costs 2 (ZS relabel priced at 2 = its own
-// delete+insert, matching our conforming scripts, which may never pair
-// dissimilar values under Criterion 1).
+// isolates matching quality — alignedCompare and alignedOracleCosts in
+// qualityperf.go, shared with the E14 frontier harness.
 func QualityGap(rates []float64) ([]QualityPoint, error) {
 	if len(rates) == 0 {
 		rates = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	}
-	similarity := func(a, b string) float64 {
-		switch {
-		case a == b:
-			return 0
-		case compare.WordLCS(a, b) <= match.DefaultLeafThreshold:
-			return 1
-		default:
-			return 2
-		}
-	}
-	zsCosts := zs.Costs{
-		Insert: func(*tree.Node) float64 { return 1 },
-		Delete: func(*tree.Node) float64 { return 1 },
-		Relabel: func(a, b *tree.Node) float64 {
-			if a.Label() != b.Label() {
-				return 2
-			}
-			return similarity(a.Value(), b.Value())
-		},
-	}
+	zsCosts := alignedOracleCosts()
 	var out []QualityPoint
 	for i, rate := range rates {
 		doc := gen.Document(gen.DocParams{
@@ -100,7 +75,7 @@ func QualityGap(rates []float64) ([]QualityPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		model := edit.CostModel{InsertCost: 1, DeleteCost: 1, MoveCost: 1, Compare: similarity}
+		model := alignedScriptModel()
 		fastCost := model.Cost(res.Script)
 		a3Cost := model.Cost(resA3.Script)
 		optimal, err := zs.Distance(doc, pert.New, zsCosts)

@@ -9,11 +9,18 @@ import (
 	"ladiff/internal/lderr"
 	"ladiff/internal/match"
 	"ladiff/internal/obs"
+	// Registers the "rted" engine with the match registry; core is the
+	// lowest layer every consumer of engine selection goes through, so
+	// importing it here makes the full engine set available to the CLIs,
+	// the server, and library callers alike.
+	_ "ladiff/internal/rted"
 	"ladiff/internal/tree"
-	"ladiff/internal/zs"
 )
 
-// Matcher selects the Good Matching algorithm used by Diff.
+// Matcher selects the Good Matching engine used by Diff. Each value
+// names an engine in the internal/match registry; MatcherByName maps
+// the wire/flag spellings ("fast", "simple", "zs", "rted") back to
+// enum values.
 type Matcher int
 
 const (
@@ -31,7 +38,53 @@ const (
 	// thorough-but-expensive end of the paper's §2 trade-off. Use it on
 	// small trees or when Criterion 3 is badly violated.
 	ZSMatcher
+	// RTEDMatcher derives the matching from a true optimal edit mapping
+	// computed with the robust shape-adaptive decomposition of
+	// Pawlik–Augsten (internal/rted): the strategy DP picks a left,
+	// right, or heavy root-leaf path per subtree pair, so the worst
+	// case stays O(n³) instead of ZS's O(n⁴) on deep-skewed shapes.
+	// Same cost model and same optimality guarantee as ZSMatcher —
+	// use it as the quality oracle on trees too large for ZS.
+	RTEDMatcher
 )
+
+// EngineName returns the matcher's name in the internal/match engine
+// registry ("" for an unknown enum value).
+func (m Matcher) EngineName() string {
+	switch m {
+	case FastMatcher:
+		return "fast"
+	case SimpleMatcher:
+		return "simple"
+	case ZSMatcher:
+		return "zs"
+	case RTEDMatcher:
+		return "rted"
+	}
+	return ""
+}
+
+// MatcherByName maps an engine name, as spelled in `-engine` flags and
+// the server's request schema, to its Matcher value. The empty string
+// selects the default FastMatcher; "match" is accepted as the paper's
+// name for the simple quadratic algorithm.
+func MatcherByName(name string) (Matcher, bool) {
+	switch name {
+	case "", "fast":
+		return FastMatcher, true
+	case "simple", "match":
+		return SimpleMatcher, true
+	case "zs":
+		return ZSMatcher, true
+	case "rted":
+		return RTEDMatcher, true
+	}
+	return 0, false
+}
+
+// EngineNames returns the registered engine names, sorted — the legal
+// values for `-engine` flags and the server's "matcher" field.
+func EngineNames() []string { return match.Engines() }
 
 // Options configures the end-to-end Diff pipeline.
 type Options struct {
@@ -161,27 +214,21 @@ func MatchWithFallback(old, new *tree.Tree, matcher Matcher, opts match.Options)
 }
 
 func matchWithFallback(old, new *tree.Tree, matcher Matcher, opts match.Options) (*match.Matching, []string, error) {
-	var (
-		m    *match.Matching
-		name string
-		err  error
-	)
-	switch matcher {
-	case FastMatcher:
-		m, err = match.FastMatch(old, new, opts)
-	case SimpleMatcher:
-		name = "match"
-		m, err = match.Match(old, new, opts)
-	case ZSMatcher:
-		name = "zs"
-		m, err = zsMatching(old, new, opts)
-	default:
+	engName := matcher.EngineName()
+	if engName == "" {
 		return nil, nil, fmt.Errorf("core: unknown matcher %d", matcher)
 	}
+	eng, ok := match.EngineByName(engName)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: matching engine %q not registered", engName)
+	}
+	m, err := eng.Match(old, new, opts)
 	if err == nil {
 		return m, nil, nil
 	}
-	if name == "" || !errors.Is(err, lderr.ErrDegraded) {
+	// The fast engine is itself the fallback: its budget exhaustion has
+	// nothing cheaper to degrade to and propagates as an error.
+	if matcher == FastMatcher || !errors.Is(err, lderr.ErrDegraded) {
 		return nil, nil, fmt.Errorf("core: matching: %w", err)
 	}
 	fallbackOpts := opts
@@ -190,8 +237,20 @@ func matchWithFallback(old, new *tree.Tree, matcher Matcher, opts match.Options)
 	if ferr != nil {
 		return nil, nil, fmt.Errorf("core: matching: %w", ferr)
 	}
-	reason := fmt.Sprintf("match: %s exceeded work budget %d; fell back to fastmatch", name, opts.WorkBudget)
+	reason := fmt.Sprintf("match: %s exceeded work budget %d; fell back to fastmatch",
+		fallbackReasonName(matcher), opts.WorkBudget)
 	return m, []string{reason}, nil
+}
+
+// fallbackReasonName spells the matcher in degraded-reason strings.
+// SimpleMatcher keeps the paper's algorithm name "match" — the spelling
+// the pre-registry fallback ladder used — so operator-facing reasons
+// stay stable across the engine refactor.
+func fallbackReasonName(m Matcher) string {
+	if m == SimpleMatcher {
+		return "match"
+	}
+	return m.EngineName()
 }
 
 // DiffContext is Diff bounded by ctx: the pipeline polls the context
@@ -205,39 +264,6 @@ func DiffContext(ctx context.Context, old, new *tree.Tree, opts Options) (*Resul
 		opts.Ctx = ctx
 	}
 	return Diff(old, new, opts)
-}
-
-// zsMatching builds a matching from an optimal Zhang–Shasha mapping
-// under zs.MatchingCosts: cross-label pairs are priced out, same-label
-// pairs priced by value distance, so every surviving pair is a legal
-// matching entry.
-func zsMatching(old, new *tree.Tree, opts match.Options) (*match.Matching, error) {
-	// Budget pre-gate: Zhang–Shasha is Ω(n1·n2) before the first useful
-	// result, so a budgeted run whose tree product already exceeds the
-	// budget degrades immediately instead of burning the work first.
-	if b := opts.WorkBudget; b > 0 {
-		if n1, n2 := int64(old.Len()), int64(new.Len()); n1 > 0 && n2 > b/n1 {
-			return nil, lderr.Degraded(fmt.Errorf(
-				"core: zs matcher needs ≥ %d·%d work units, budget is %d", n1, n2, b))
-		}
-	}
-	cmp := opts.Compare
-	pairs, _, err := zs.Mapping(old, new, zs.MatchingCosts(cmp))
-	if err != nil {
-		return nil, err
-	}
-	m := match.NewMatching()
-	for _, p := range pairs {
-		if p.Old.Label() != p.New.Label() {
-			// MatchingCosts makes this impossible unless delete+insert
-			// tied with a forbidden relabel; skip defensively.
-			continue
-		}
-		if err := m.Add(p.Old.ID(), p.New.ID()); err != nil {
-			return nil, fmt.Errorf("core: ZS mapping not one-to-one: %w", err)
-		}
-	}
-	return m, nil
 }
 
 // Cost returns the script's cost under the model configured in opts (or

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ladiff/internal/core"
+	"ladiff/internal/gen"
+	"ladiff/internal/lderr"
+	"ladiff/internal/match"
+)
+
+// enginePropertyClasses are the workload classes the per-engine
+// property battery runs on: every battery class small enough that the
+// optimal-mapping engines stay fast (wide-flat and sparse-1pct are
+// covered for the default engine by the golden battery instead).
+func enginePropertyClasses() []gen.Class {
+	var out []gen.Class
+	for _, c := range gen.Classes() {
+		switch c.Name {
+		case "wide-flat", "sparse-1pct":
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestEngineProperties runs every registered matching engine over the
+// property classes and checks the engine contract: the matching is a
+// valid bijection (injective both ways, nodes exist, labels agree),
+// the roots are matched to each other, and the full pipeline's script
+// replays the old tree into one isomorphic to the new — the §3
+// correctness guarantee that must hold for ANY matching, optimal or
+// not.
+func TestEngineProperties(t *testing.T) {
+	for _, c := range enginePropertyClasses() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			dp := c.Doc
+			dp.Seed = 701
+			doc := gen.Document(dp)
+			pert, err := gen.Perturb(doc, c.Pert(702))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range core.EngineNames() {
+				matcher, ok := core.MatcherByName(name)
+				if !ok {
+					t.Fatalf("registered engine %q has no Matcher value", name)
+				}
+				m, reasons, err := core.MatchWithFallback(doc, pert.New, matcher, match.Options{})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(reasons) != 0 {
+					t.Fatalf("%s: unbudgeted run degraded: %v", name, reasons)
+				}
+				if err := m.Validate(doc, pert.New); err != nil {
+					t.Fatalf("%s: invalid matching: %v", name, err)
+				}
+				// Generated documents share the root label, so every
+				// engine must pair the roots — FastMatch/Match by the
+				// equal-label root rule, the optimal engines because an
+				// optimal mapping never leaves equal roots unmatched.
+				if got, ok := m.ToNew(doc.Root().ID()); !ok || got != pert.New.Root().ID() {
+					t.Fatalf("%s: root not matched to root (got %v, %v)", name, got, ok)
+				}
+				res, err := core.Diff(doc, pert.New, core.Options{Matcher: matcher})
+				if err != nil {
+					t.Fatalf("%s: diff: %v", name, err)
+				}
+				// ApplyToOld is the replay oracle: it re-runs the script
+				// on a fresh clone and verifies isomorphism with New.
+				if _, err := res.ApplyToOld(); err != nil {
+					t.Fatalf("%s: replay: %v", name, err)
+				}
+				if err := res.Conforms(m); err != nil {
+					t.Fatalf("%s: script does not conform to the matching: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineBudgetFallback pins the fallback ladder per engine: every
+// non-fast engine starved to a work budget of 1 must degrade to an
+// unbudgeted FastMatch run — valid matching, one reason naming the
+// engine that gave up — while FastMatch itself, with nothing cheaper
+// left, must fail hard with the degraded error kind.
+func TestEngineBudgetFallback(t *testing.T) {
+	c := gen.Classes()[0]
+	dp := c.Doc
+	dp.Seed = 711
+	doc := gen.Document(dp)
+	pert, err := gen.Perturb(doc, c.Pert(712))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := match.Options{WorkBudget: 1}
+
+	for _, name := range core.EngineNames() {
+		matcher, _ := core.MatcherByName(name)
+		m, reasons, err := core.MatchWithFallback(doc, pert.New, matcher, starved)
+		if name == "fast" {
+			if err == nil || !errors.Is(err, lderr.ErrDegraded) {
+				t.Fatalf("fast: starved budget err = %v, want ErrDegraded kind", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: starved budget should degrade, got error: %v", name, err)
+		}
+		if len(reasons) != 1 {
+			t.Fatalf("%s: reasons = %v, want exactly one", name, reasons)
+		}
+		// SimpleMatcher keeps the paper's name "match" in reasons; the
+		// registry engines report under their own names.
+		wantName := name
+		if name == "simple" {
+			wantName = "match"
+		}
+		if !strings.Contains(reasons[0], wantName+" exceeded work budget") ||
+			!strings.Contains(reasons[0], "fell back to fastmatch") {
+			t.Errorf("%s: reason %q does not name the %s→fastmatch ladder", name, reasons[0], wantName)
+		}
+		if err := m.Validate(doc, pert.New); err != nil {
+			t.Errorf("%s: fallback matching invalid: %v", name, err)
+		}
+	}
+}

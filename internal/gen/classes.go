@@ -1,5 +1,7 @@
 package gen
 
+import "fmt"
+
 // Class is one named workload: a document shape crossed with a
 // perturbation recipe. The differential batteries (observability
 // invariance, fingerprint-ladder identity) and the benchmark harness
@@ -67,6 +69,19 @@ func Classes() []Class {
 			Doc:  SparseDoc(),
 			Pert: SparsePert,
 		},
+	}
+}
+
+// Sections is the size-sweep workload: a document of n sections with a
+// large vocabulary under a fixed small Mix perturbation, seeded by n so
+// every sweep sees the same documents. The scaling studies (E6b) and
+// the quality/runtime frontier harness (E14) share this one definition,
+// so their size axes mean the same workload.
+func Sections(n int) Class {
+	return Class{
+		Name: fmt.Sprintf("sections-%d", n),
+		Doc:  DocParams{Seed: int64(800 + n), Sections: n, Vocabulary: 8000},
+		Pert: func(seed int64) PerturbParams { return Mix(seed, 6) },
 	}
 }
 

@@ -1,0 +1,91 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ladiff/internal/tree"
+)
+
+// Engine is one pluggable matching algorithm: given two trees and the
+// matching criteria it returns a valid matching (one-to-one,
+// label-preserving). The de-facto variants of the paper — FastMatch
+// (Figure 11), Match (Figure 10), and the Zhang–Shasha best-matching
+// route (§5) — are registered engines, as is the RTED optimal oracle
+// (internal/rted). Engines must be safe for concurrent use: one Engine
+// value serves every request.
+type Engine interface {
+	// Name is the engine's registry key, as spelled in `-engine` flags
+	// and the server's request schema ("fast", "simple", "zs", "rted").
+	Name() string
+	// Match computes the matching. A budgeted engine that cannot finish
+	// within opts.WorkBudget returns an lderr.ErrDegraded-tagged error;
+	// the core fallback ladder then degrades to the fast engine.
+	Match(t1, t2 *tree.Tree, opts Options) (*Matching, error)
+}
+
+// engineFunc adapts a plain function to the Engine interface.
+type engineFunc struct {
+	name string
+	fn   func(t1, t2 *tree.Tree, opts Options) (*Matching, error)
+}
+
+func (e engineFunc) Name() string { return e.name }
+func (e engineFunc) Match(t1, t2 *tree.Tree, opts Options) (*Matching, error) {
+	return e.fn(t1, t2, opts)
+}
+
+// EngineFunc wraps fn as a registered-style Engine value without
+// registering it — useful for tests that exercise the registry surface.
+func EngineFunc(name string, fn func(t1, t2 *tree.Tree, opts Options) (*Matching, error)) Engine {
+	return engineFunc{name: name, fn: fn}
+}
+
+var (
+	enginesMu sync.RWMutex
+	engines   = map[string]Engine{}
+)
+
+// Register adds e to the engine registry under e.Name(). It panics on a
+// duplicate or empty name: registration happens in package init
+// functions, where a collision is a programming error, not a runtime
+// condition.
+func Register(e Engine) {
+	name := e.Name()
+	if name == "" {
+		panic("match: Register: engine has empty name")
+	}
+	enginesMu.Lock()
+	defer enginesMu.Unlock()
+	if _, dup := engines[name]; dup {
+		panic(fmt.Sprintf("match: Register called twice for engine %q", name))
+	}
+	engines[name] = e
+}
+
+// EngineByName looks up a registered engine.
+func EngineByName(name string) (Engine, bool) {
+	enginesMu.RLock()
+	defer enginesMu.RUnlock()
+	e, ok := engines[name]
+	return e, ok
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	enginesMu.RLock()
+	defer enginesMu.RUnlock()
+	out := make([]string, 0, len(engines))
+	for name := range engines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(EngineFunc("fast", FastMatch))
+	Register(EngineFunc("simple", Match))
+	Register(EngineFunc("zs", zsMatch))
+}

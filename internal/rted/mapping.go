@@ -1,0 +1,95 @@
+package rted
+
+import (
+	"math"
+
+	"ladiff/internal/tree"
+	"ladiff/internal/zs"
+)
+
+// Mapping computes an optimal edit mapping between t1 and t2 under the
+// given costs, returning the aligned node pairs and the distance — the
+// RTED counterpart of zs.Mapping. The mapping is the certificate
+// behind the distance: nodes of t1 outside the mapping are deleted,
+// nodes of t2 outside it inserted, and every pair either matches
+// exactly or is relabeled. Pair it with zs.MatchingCosts and feed the
+// label-equal pairs to Algorithm EditScript for the optimal pipeline
+// on trees too large for the ZS route (see core.RTEDMatcher).
+//
+// The backtrack re-expands the memoized recursion: every state stores
+// the decomposition direction the forward pass used, so the branch
+// values reproduce exactly and the walk follows one optimal path.
+func Mapping(t1, t2 *tree.Tree, c zs.Costs) ([]zs.MapPair, float64, error) {
+	s, err := newSolver(t1, t2, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := s.treeDist(0, 0)
+	var out []zs.MapPair
+	s.backtrackTree(0, 0, &out)
+	return out, d, nil
+}
+
+// eps tolerates float drift when re-deriving which branch an optimal
+// path took (same convention as the zs backtrack).
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// backtrackTree walks one optimal path through the top state of the
+// tree pair (v, w): delete root, insert root, or pair the roots.
+func (s *solver) backtrackTree(v, w int, out *[]zs.MapPair) {
+	d := s.treeDist(v, w)
+	c := sctx{strategy: s.strat[v*len(s.t2.nodes)+w]}
+	f1, f2 := s.t1.full(v), s.t2.full(w)
+	delC, insC := s.costs.Delete(s.t1.nodes[v]), s.costs.Insert(s.t2.nodes[w])
+	p1 := s.t1.dropNode(f1, v, dirLeft, delC)
+	p2 := s.t2.dropNode(f2, w, dirLeft, insC)
+	if approx(d, delC+s.forestDist(c, p1, f2)) {
+		s.backtrackForest(c, p1, f2, out)
+		return
+	}
+	if approx(d, insC+s.forestDist(c, f1, p2)) {
+		s.backtrackForest(c, f1, p2, out)
+		return
+	}
+	*out = append(*out, zs.MapPair{Old: s.t1.nodes[v], New: s.t2.nodes[w]})
+	s.backtrackForest(c, p1, p2, out)
+}
+
+// backtrackForest walks one optimal path through forest state
+// (f1, f2), emitting the matched pairs it passes through.
+func (s *solver) backtrackForest(c sctx, f1, f2 forest, out *[]zs.MapPair) {
+	if f1.cnt == 0 || f2.cnt == 0 {
+		return // pure insertion/deletion: no aligned pairs
+	}
+	l1, r1 := s.t1.leftmostRoot(f1.i, f1.j), s.t1.rightmostRoot(f1.i, f1.j)
+	l2, r2 := s.t2.leftmostRoot(f2.i, f2.j), s.t2.rightmostRoot(f2.i, f2.j)
+	if l1 == r1 && l2 == r2 {
+		s.backtrackTree(l1, l2, out)
+		return
+	}
+	d := s.forestDist(c, f1, f2)
+	// The forward call above guarantees the state is memoized (it is
+	// neither a base case nor a whole-tree pair). Each state's distance
+	// is unique and path-independent, so re-deriving the branch values
+	// under the stored direction reproduces the minimum exactly even
+	// when the state was first solved from a different context.
+	fv, _ := s.fmemo.get(s.key(l1, r1, l2, r2))
+	dir := fv.dir
+	a, b := l1, l2
+	if dir == dirRight {
+		a, b = r1, r2
+	}
+	delC, insC := s.costs.Delete(s.t1.nodes[a]), s.costs.Insert(s.t2.nodes[b])
+	if g1 := s.t1.dropNode(f1, a, dir, delC); approx(d, delC+s.forestDist(c, g1, f2)) {
+		s.backtrackForest(c, g1, f2, out)
+		return
+	}
+	if g2 := s.t2.dropNode(f2, b, dir, insC); approx(d, insC+s.forestDist(c, f1, g2)) {
+		s.backtrackForest(c, f1, g2, out)
+		return
+	}
+	s.backtrackTree(a, b, out)
+	s.backtrackForest(c, s.t1.dropTree(f1, a, dir), s.t2.dropTree(f2, b, dir), out)
+}

@@ -1,0 +1,186 @@
+package rted_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ladiff/internal/gen"
+	"ladiff/internal/rted"
+	"ladiff/internal/tree"
+	"ladiff/internal/zs"
+)
+
+// randTree builds a random tree of up to maxN nodes with a small
+// label/value alphabet, so collisions (equal labels, equal values) are
+// frequent and the distance recursions face real ties.
+func randTree(r *rand.Rand, maxN int) *tree.Tree {
+	labels := []tree.Label{"a", "b", "c"}
+	n := 1 + r.Intn(maxN)
+	t := tree.NewWithRoot(labels[r.Intn(len(labels))], "")
+	nodes := []*tree.Node{t.Root()}
+	for i := 1; i < n; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		nd := t.AppendChild(parent, labels[r.Intn(len(labels))], string(rune('0'+r.Intn(3))))
+		nodes = append(nodes, nd)
+	}
+	return t
+}
+
+// checkAgainstZS asserts the RTED distance is bit-identical to the
+// Zhang–Shasha distance on the pair, and that the RTED mapping is a
+// one-to-one certificate whose implied cost equals the distance.
+// Unit costs are integer-valued, so float sums are exact and equality
+// is == — no epsilon.
+func checkAgainstZS(t *testing.T, t1, t2 *tree.Tree) {
+	t.Helper()
+	zd, err := zs.UnitDistance(t1, t2)
+	if err != nil {
+		t.Fatalf("zs: %v", err)
+	}
+	rd, err := rted.UnitDistance(t1, t2)
+	if err != nil {
+		t.Fatalf("rted: %v", err)
+	}
+	if rd != zd {
+		t.Fatalf("rted distance %v != zs distance %v\nold:\n%s\nnew:\n%s", rd, zd, t1, t2)
+	}
+	pairs, md, err := rted.Mapping(t1, t2, zs.UnitCosts())
+	if err != nil {
+		t.Fatalf("rted mapping: %v", err)
+	}
+	if md != zd {
+		t.Fatalf("mapping distance %v != distance %v", md, zd)
+	}
+	seenOld := map[*tree.Node]bool{}
+	seenNew := map[*tree.Node]bool{}
+	cost := 0.0
+	c := zs.UnitCosts()
+	for _, p := range pairs {
+		if seenOld[p.Old] || seenNew[p.New] {
+			t.Fatalf("mapping not one-to-one at (%v, %v)", p.Old, p.New)
+		}
+		seenOld[p.Old], seenNew[p.New] = true, true
+		cost += c.Relabel(p.Old, p.New)
+	}
+	cost += float64(t1.Len()-len(pairs)) + float64(t2.Len()-len(pairs))
+	if cost != zd {
+		t.Fatalf("mapping implies cost %v, distance is %v", cost, zd)
+	}
+}
+
+// TestRTEDMatchesZSOnSmallTrees is the differential battery's random
+// half: thousands of tree pairs of ≤ 12 nodes, RTED bit-identical to
+// Zhang–Shasha with a cost-consistent one-to-one mapping on each.
+func TestRTEDMatchesZSOnSmallTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(4111))
+	for i := 0; i < 2000; i++ {
+		checkAgainstZS(t, randTree(r, 12), randTree(r, 12))
+	}
+}
+
+// TestRTEDMatchesZSOnClasses is the battery's document half: the
+// standard workload classes at their real sizes. sparse-1pct is
+// excluded — at ~5000 nodes the quadratic strategy DP alone makes the
+// comparison take minutes; the class exists for the fingerprint
+// ladder, not the matchers.
+func TestRTEDMatchesZSOnClasses(t *testing.T) {
+	for _, c := range gen.Classes() {
+		if c.Name == "sparse-1pct" {
+			continue
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			dp := c.Doc
+			dp.Seed = 601
+			doc := gen.Document(dp)
+			pert, err := gen.Perturb(doc, c.Pert(602))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstZS(t, doc, pert.New)
+		})
+	}
+}
+
+// TestRTEDErrors pins the argument contract shared with zs.Distance.
+func TestRTEDErrors(t *testing.T) {
+	ok := tree.NewWithRoot("r", "")
+	if _, err := rted.UnitDistance(nil, ok); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := rted.UnitDistance(ok, tree.New()); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	if _, err := rted.Distance(ok, ok, zs.Costs{}); err == nil {
+		t.Fatal("missing cost functions accepted")
+	}
+}
+
+// TestRTEDNonUnitCosts checks agreement under a non-unit (but still
+// integer-valued, hence exactly summable) cost model: expensive
+// relabels must flip optimal mappings toward delete+insert in both
+// implementations identically.
+func TestRTEDNonUnitCosts(t *testing.T) {
+	costs := zs.Costs{
+		Insert: func(*tree.Node) float64 { return 1 },
+		Delete: func(*tree.Node) float64 { return 2 },
+		Relabel: func(a, b *tree.Node) float64 {
+			if a.Label() != b.Label() || a.Value() != b.Value() {
+				return 3
+			}
+			return 0
+		},
+	}
+	r := rand.New(rand.NewSource(4112))
+	for i := 0; i < 500; i++ {
+		t1, t2 := randTree(r, 10), randTree(r, 10)
+		zd, err := zs.Distance(t1, t2, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := rted.Distance(t1, t2, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd != zd {
+			t.Fatalf("non-unit: rted %v != zs %v\nold:\n%s\nnew:\n%s", rd, zd, t1, t2)
+		}
+	}
+}
+
+// FuzzRTEDvsZS drives the differential battery from fuzzer-chosen
+// seeds: each input deterministically generates a small tree pair and
+// the RTED distance and mapping must agree with Zhang–Shasha exactly.
+// The checked property is total (any seed is valid), so the fuzzer
+// explores tree shapes by exploring the seed space.
+func FuzzRTEDvsZS(f *testing.F) {
+	f.Add(int64(1), uint64(8), uint64(12))
+	f.Add(int64(2), uint64(1), uint64(1))
+	f.Add(int64(3), uint64(12), uint64(12))
+	f.Add(int64(4), uint64(2), uint64(11))
+	f.Add(int64(5), uint64(7), uint64(3))
+	f.Fuzz(func(t *testing.T, seed int64, size1, size2 uint64) {
+		r := rand.New(rand.NewSource(seed))
+		n1 := int(size1%12) + 1
+		n2 := int(size2%12) + 1
+		checkAgainstZS(t, randTree(r, n1), randTree(r, n2))
+	})
+}
+
+// TestRTEDDistanceIsFinite guards the memo sentinel: a computed
+// distance must never be NaN (the tree-distance memo's unset marker)
+// or infinite.
+func TestRTEDDistanceIsFinite(t *testing.T) {
+	r := rand.New(rand.NewSource(4113))
+	for i := 0; i < 200; i++ {
+		d, err := rted.UnitDistance(randTree(r, 20), randTree(r, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("distance = %v", d)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -287,6 +288,94 @@ func TestChaosDegradedBudgetFallback(t *testing.T) {
 	}
 	if hdr.Get("Retry-After") == "" {
 		t.Error("over-budget 503 missing Retry-After")
+	}
+}
+
+// TestChaosDegradedRTEDBudgetFallback starves the work budget under
+// the optimal "rted" engine: its quadratic pre-gate must trip before
+// any DP work happens, and the core fallback ladder must answer with
+// an unbudgeted FastMatch run — 200, marked degraded with a reason
+// naming the engine, script still correct, degraded_total counting it.
+func TestChaosDegradedRTEDBudgetFallback(t *testing.T) {
+	s, ts, done := chaosServer(t, Config{MatchWorkBudget: 1})
+	defer done()
+
+	pair := diffPairs["tree"]
+	status, body, _ := postJSON(t, ts, "/v1/diff", DiffRequest{
+		Old: pair[0], New: pair[1], Format: "tree", Matcher: "rted",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("budget-starved rted diff: status %d, want 200 (degraded): %s", status, body)
+	}
+	var resp DiffResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || len(resp.DegradedReasons) == 0 {
+		t.Fatalf("response not marked degraded: %s", body)
+	}
+	// The reason must tell the operator WHICH engine gave up, so a
+	// misbehaving -engine default is diagnosable from response bodies.
+	found := false
+	for _, r := range resp.DegradedReasons {
+		if strings.Contains(r, "rted") && strings.Contains(r, "fastmatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degraded reasons %v do not name the rted→fastmatch ladder", resp.DegradedReasons)
+	}
+
+	oldT, err := ladiff.ParseTree(pair[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	newT, err := ladiff.ParseTree(pair[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := resp.Script.ApplyTo(oldT)
+	if err != nil {
+		t.Fatalf("applying degraded script: %v", err)
+	}
+	if !ladiff.Isomorphic(patched, newT) {
+		t.Error("degraded script does not transform T1 into T2")
+	}
+	if got := s.Metrics().Degraded.Load(); got != 1 {
+		t.Errorf("degraded_total = %d, want 1", got)
+	}
+	// The wire format too: the degradation must surface on GET /metrics,
+	// where a dashboard (not a test with a *Server handle) reads it.
+	var snap MetricsSnapshot
+	if st := getJSON(t, ts, "/metrics", &snap); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if snap.DegradedTotal != 1 {
+		t.Errorf("degraded_total = %d on /metrics, want 1", snap.DegradedTotal)
+	}
+
+	// Same request with an ample budget: no degradation, and the optimal
+	// engine's script must not cost more than the degraded one.
+	s2, ts2, done2 := chaosServer(t, Config{MatchWorkBudget: 1 << 20})
+	defer done2()
+	status, body, _ = postJSON(t, ts2, "/v1/diff", DiffRequest{
+		Old: pair[0], New: pair[1], Format: "tree", Matcher: "rted",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("budgeted rted diff: status %d: %s", status, body)
+	}
+	var full DiffResponse
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded || len(full.DegradedReasons) != 0 {
+		t.Errorf("ample-budget rted run degraded: %v", full.DegradedReasons)
+	}
+	if got := s2.Metrics().Degraded.Load(); got != 0 {
+		t.Errorf("degraded_total = %d on the ample-budget server, want 0", got)
+	}
+	if len(full.Script) > len(resp.Script) {
+		t.Errorf("optimal engine produced %d ops, degraded fallback %d", len(full.Script), len(resp.Script))
 	}
 }
 

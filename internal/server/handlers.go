@@ -28,11 +28,13 @@ type DiffRequest struct {
 	// matching thresholds; zero keeps the defaults.
 	LeafThreshold     float64 `json:"leafThreshold,omitempty"`
 	InternalThreshold float64 `json:"internalThreshold,omitempty"`
-	// Matcher selects the matching algorithm: "fast" (default),
-	// "simple" (the quadratic Match), or "zs" (Zhang–Shasha best
-	// matching). Under a configured match work budget, "simple" and
-	// "zs" requests that exhaust the budget fall back to "fast" and the
-	// response is marked degraded.
+	// Matcher selects the matching engine: "fast" (the default, unless
+	// the server is configured with another DefaultEngine), "simple"
+	// (the quadratic Match), "zs" (Zhang–Shasha best matching), or
+	// "rted" (the optimal-strategy edit-mapping oracle). Under a
+	// configured match work budget, non-"fast" requests that exhaust
+	// the budget fall back to "fast" and the response is marked
+	// degraded.
 	Matcher string `json:"matcher,omitempty"`
 	// Prune opts this request into the fingerprint ladder: the Merkle
 	// identical-subtree pruning pass before the label rounds and the
@@ -251,18 +253,13 @@ func (s *Server) parseChecked(w http.ResponseWriter, which, format, src string) 
 	return t, true
 }
 
-// matcherFor maps the request's matcher name to the algorithm.
-func matcherFor(name string) (ladiff.Matcher, bool) {
-	switch name {
-	case "", "fast":
-		return ladiff.FastMatcher, true
-	case "simple":
-		return ladiff.SimpleMatcher, true
-	case "zs":
-		return ladiff.ZSMatcher, true
-	default:
-		return 0, false
+// matcherFor maps the request's matcher name to the engine, resolving
+// an empty name to the server's configured default.
+func (s *Server) matcherFor(name string) (ladiff.Matcher, bool) {
+	if name == "" {
+		name = s.cfg.DefaultEngine
 	}
+	return ladiff.MatcherByName(name)
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
@@ -294,11 +291,11 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown output %q (want one of %v)", output, Outputs))
 		return
 	}
-	matcher, ok := matcherFor(req.Matcher)
+	matcher, ok := s.matcherFor(req.Matcher)
 	if !ok {
 		s.met.BadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown matcher %q (want fast, simple, or zs)", req.Matcher))
+			fmt.Sprintf("unknown matcher %q (want one of %v)", req.Matcher, ladiff.EngineNames()))
 		return
 	}
 

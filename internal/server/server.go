@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ladiff"
 	"ladiff/internal/lderr"
 	"ladiff/internal/obs"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	// 0 means 1: under concurrent load, parallelism across requests
 	// beats parallelism within one.
 	MatchParallelism int
+	// DefaultEngine is the matching engine used when a request does not
+	// name one in its "matcher" field: "fast", "simple", "zs", or
+	// "rted". Empty means "fast". An unknown name is replaced with
+	// "fast" by New (a misconfigured default must not brick every
+	// request); explicit per-request names are still validated strictly.
+	DefaultEngine string
 	// PruneIdentical turns on the fingerprint ladder for every diff
 	// request: the Merkle identical-subtree pruning pass before the
 	// label rounds and the root-hash short circuit for unchanged
@@ -92,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MatchParallelism <= 0 {
 		c.MatchParallelism = 1
+	}
+	if _, ok := ladiff.MatcherByName(c.DefaultEngine); !ok {
+		c.DefaultEngine = ""
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
