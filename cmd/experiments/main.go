@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,qualityperf,matchperf,editperf,servperf]
+//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,qualityperf,matchperf,editperf,servperf,storeperf]
 //
 // With no -run flag every experiment runs. The output of a full run is
 // recorded in EXPERIMENTS.md alongside the paper's numbers.
@@ -28,6 +28,7 @@ func main() {
 	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the obsperf report")
 	hashOut := flag.String("hashout", "BENCH_hashing.json", "output path for the hashperf report")
 	qualityOut := flag.String("qualityout", "BENCH_quality.json", "output path for the qualityperf report")
+	storeOut := flag.String("storeout", "BENCH_store.json", "output path for the storeperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
@@ -35,6 +36,7 @@ func main() {
 	obsPerfOutPath = *obsOut
 	hashPerfOutPath = *hashOut
 	qualityPerfOutPath = *qualityOut
+	storePerfOutPath = *storeOut
 
 	all := []struct {
 		name string
@@ -54,6 +56,7 @@ func main() {
 		{"servperf", runServPerf},
 		{"obsperf", runObsPerf},
 		{"hashperf", runHashPerf},
+		{"storeperf", runStorePerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -456,6 +459,60 @@ func runHashPerf() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", hashPerfOutPath)
+	fmt.Println()
+	return nil
+}
+
+// storePerfOutPath is where runStorePerf writes BENCH_store.json.
+var storePerfOutPath = "BENCH_store.json"
+
+// storePerfDepth overrides the E15 chain depth; 0 means the default 64.
+// The smoke test trims it so the suite stays fast.
+var storePerfDepth = 0
+
+func runStorePerf() error {
+	report, err := bench.CollectStorePerf(storePerfDepth)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E15: version store — ingest, checkout vs chain depth, feed fan-out ==")
+	fmt.Println("   (checkout replays inverse scripts back from the nearest snapshot; the")
+	fmt.Println("    checkpointed column must stay flat while plain replay grows with depth)")
+	var rows [][]string
+	for _, r := range report.Ingest {
+		rows = append(rows, []string{
+			r.Class, fmt.Sprint(r.OldNodes), fmt.Sprint(r.Versions),
+			fmt.Sprintf("%.0f", r.VersionsPerSec),
+			fmt.Sprintf("%.2f", float64(r.MeanUS)/1e3),
+			fmt.Sprintf("%.2f", float64(r.NoopUS)/1e3),
+		})
+	}
+	fmt.Print(bench.FormatTable(
+		[]string{"class", "nodes", "versions", "ingests/s", "mean ms", "noop ms"}, rows))
+	fmt.Println()
+	rows = rows[:0]
+	for _, p := range report.Checkout {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Depth), fmt.Sprint(p.Version),
+			fmt.Sprintf("%.0f", p.PlainReplays), fmt.Sprint(p.PlainUS),
+			fmt.Sprintf("%.0f", p.CheckpointReplays), fmt.Sprint(p.CheckpointUS),
+		})
+	}
+	fmt.Print(bench.FormatTable(
+		[]string{"depth", "version", "plain replays", "plain us", "ckpt replays", "ckpt us"}, rows))
+	fmt.Println()
+	rows = rows[:0]
+	for _, p := range report.Fanout {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Subscribers), fmt.Sprint(p.Ingests),
+			fmt.Sprint(p.MeanUS), fmt.Sprint(p.P95US),
+		})
+	}
+	fmt.Print(bench.FormatTable([]string{"subscribers", "ingests", "slowest mean us", "slowest p95 us"}, rows))
+	if err := report.WriteStorePerf(storePerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", storePerfOutPath)
 	fmt.Println()
 	return nil
 }

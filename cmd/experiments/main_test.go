@@ -98,6 +98,21 @@ func TestRunQualityPerf(t *testing.T) {
 	}
 }
 
+func TestRunStorePerf(t *testing.T) {
+	storePerfOutPath = t.TempDir() + "/BENCH_store.json"
+	storePerfDepth = 8
+	defer func() { storePerfDepth = 0 }()
+	out := capture(t, runStorePerf)
+	for _, want := range []string{"ingests/s", "ckpt replays", "subscribers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(storePerfOutPath); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+}
+
 func TestMainDispatch(t *testing.T) {
 	// Unknown experiment names must leave ran == 0; exercised through
 	// the want map logic indirectly by calling a known runner above.

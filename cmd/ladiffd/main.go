@@ -1,7 +1,9 @@
 // Command ladiffd serves the LaDiff change-detection pipeline over
 // HTTP: POST /v1/diff and /v1/patch, GET /healthz and /metrics, with
-// pprof on a separate debug listener. It is the serving counterpart of
-// the batch cmd/ladiff tool — see DESIGN.md §8 for the architecture.
+// pprof on a separate debug listener — plus, with -store, the versioned
+// document store under /v1/docs (ingest, checkout, version diffs, and
+// SSE change feeds; see DESIGN.md §14). It is the serving counterpart
+// of the batch cmd/ladiff tool — see DESIGN.md §8 for the architecture.
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 	"ladiff/internal/fault"
 	"ladiff/internal/obs"
 	"ladiff/internal/server"
+	"ladiff/internal/store"
+	"ladiff/internal/tree"
 )
 
 func main() {
@@ -38,6 +42,12 @@ func main() {
 	engine := flag.String("engine", "", "matching engine for requests that don't name one: fast (default), simple, zs, or rted")
 	prune := flag.Bool("prune", false, "claim fingerprint-identical subtrees wholesale on every diff (per-request opt-in stays available without it)")
 	cacheEntries := flag.Int("cache", 0, "fingerprint-keyed diff cache capacity in entries (0 = disabled)")
+	storeOn := flag.Bool("store", false, "enable the versioned document store (/v1/docs endpoints and change feeds)")
+	storeLog := flag.String("store-log", "", "append-only persistence log for the store; empty keeps versions in memory only (implies -store)")
+	storeCheckpoint := flag.Int("store-checkpoint", 0, "snapshot the store every N versions, bounding checkout replay (0 = 8; negative disables)")
+	storeFeedBuffer := flag.Int("store-feed-buffer", 0, "per-subscriber feed event buffer; a slower consumer drops events (0 = 16)")
+	storeMaxFeeds := flag.Int("store-max-feeds", 0, "max concurrently open feed subscriptions before 429 (0 = 256)")
+	storeHeartbeat := flag.Duration("store-heartbeat", 0, "SSE keepalive interval on idle feeds (0 = 15s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	faultSpec := flag.String("fault", "", "arm fault injection: point:mode[:p=P][:delay=D][:bytes=N][,...][;seed=S] (chaos testing only)")
 	obsOn := flag.Bool("obs", true, "arm the observability layer: request traces, engine gauges, pprof labels")
@@ -62,6 +72,27 @@ func main() {
 		fault.Activate(plan)
 		logger.Warn("fault injection armed; this daemon will fail on purpose", "spec", *faultSpec)
 	}
+	var st *store.Store
+	if *storeOn || *storeLog != "" {
+		scfg := store.Config{
+			CheckpointEvery: *storeCheckpoint,
+			Limits:          tree.Limits{MaxNodes: *maxNodes, MaxDepth: *maxDepth},
+			FeedBuffer:      *storeFeedBuffer,
+		}
+		if *storeLog != "" {
+			var err error
+			if st, err = store.Open(*storeLog, scfg); err != nil {
+				logger.Error("opening store log", "path", *storeLog, "error", err)
+				os.Exit(1)
+			}
+			stats := st.Stats()
+			logger.Info("store log replayed", "path", *storeLog,
+				"docs", stats.Docs, "versions", stats.VersionsTotal)
+		} else {
+			st = store.New(scfg)
+		}
+		defer st.Close()
+	}
 	cfg := server.Config{
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueue:         *maxQueue,
@@ -75,6 +106,9 @@ func main() {
 		DefaultEngine:    *engine,
 		PruneIdentical:   *prune,
 		DiffCacheEntries: *cacheEntries,
+		Store:            st,
+		FeedHeartbeat:    *storeHeartbeat,
+		MaxFeeds:         *storeMaxFeeds,
 		Logger:           logger,
 	}
 

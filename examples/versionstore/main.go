@@ -1,23 +1,30 @@
 // Versionstore demonstrates delta-based version management, the paper's
-// version-and-configuration-management motivation (§1, [HKG+94]): instead
-// of storing every version of a document, store the latest version plus a
-// chain of inverse edit scripts, and reconstruct any historical version by
-// replaying inverses backward.
+// version-and-configuration-management motivation (§1, [HKG+94]), on the
+// real subsystem: internal/store keeps, per document, the latest parsed
+// tree plus a chain of inverse edit scripts, reconstructs any historical
+// version by replaying inverses backward from the nearest checkpoint
+// snapshot, detects no-op ingests by Merkle fingerprint, and persists
+// everything to an append-only log that replays on startup.
 //
-// The example commits four versions of a document, keeps only the newest
-// tree plus the (JSON-serialized, as they would be on disk) inverse
-// scripts, checks out every historical version, and verifies each against
-// the original.
+// The example commits four versions of a document, checks every
+// historical version out again (each verified against its recorded
+// fingerprint), shows that re-ingesting identical content is an
+// idempotent no-op, diffs two stored versions by composing the delta
+// chain, streams the commits through a filtered change feed, and
+// finally round-trips the whole store through its persistence log.
 //
 // Run with: go run ./examples/versionstore
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"ladiff"
+	"ladiff/internal/store"
 )
 
 var versions = []string{
@@ -36,104 +43,101 @@ First sentence of the document. Second sentence with extra detail. Third sentenc
 First sentence of the document. Third sentence wraps it up. Final remark added in version four.`,
 }
 
-// store keeps the latest tree and one serialized inverse script per
-// committed version (inverse[i] turns version i+1 back into version i).
-type store struct {
-	head     *ladiff.Tree
-	inverses [][]byte
-}
-
-// commit advances the store to the next version.
-func (s *store) commit(next *ladiff.Tree) error {
-	if s.head == nil {
-		s.head = next
-		return nil
-	}
-	res, err := ladiff.Diff(s.head, next, ladiff.Options{})
-	if err != nil {
-		return err
-	}
-	// The forward script expressed against the current head...
-	forward := res.Script
-	// ...and its inverse, which reconstructs the current head from the
-	// next version. Only the inverse is stored.
-	inv, err := ladiff.InvertScript(forward, s.head)
-	if err != nil {
-		return err
-	}
-	data, err := json.Marshal(inv)
-	if err != nil {
-		return err
-	}
-	s.inverses = append(s.inverses, data)
-	// The inverse applies to the post-script tree (head + forward), whose
-	// surviving nodes keep head's identifiers — so replay forward on head
-	// to advance, rather than adopting next's unrelated ID space.
-	advanced, err := res.ApplyToOld()
-	if err != nil {
-		return err
-	}
-	s.head = advanced
-	return nil
-}
-
-// checkout reconstructs version v (0-based) by applying inverse scripts
-// backward from the head.
-func (s *store) checkout(v int) (*ladiff.Tree, error) {
-	work := s.head.Clone()
-	for i := len(s.inverses) - 1; i >= v; i-- {
-		var inv ladiff.Script
-		if err := json.Unmarshal(s.inverses[i], &inv); err != nil {
-			return nil, err
-		}
-		if err := inv.Apply(work); err != nil {
-			return nil, fmt.Errorf("rolling back to version %d: %w", v, err)
-		}
-	}
-	return work, nil
-}
-
 func main() {
-	var s store
+	dir, err := os.MkdirTemp("", "versionstore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "docs.log")
+
+	// A persistent store with a tight checkpoint interval, so even this
+	// short chain exercises the snapshot-bounded checkout path.
+	st, err := store.Open(logPath, store.Config{CheckpointEvery: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A feed subscription, opened after the first commit (feeds attach
+	// to existing documents) and filtered to paragraph-level changes.
+	if _, err := st.Ingest(ctx, "report", "text", versions[0]); err != nil {
+		log.Fatal(err)
+	}
+	sub, err := st.Subscribe("report", store.SubscribeOptions{Filter: "**/sentence[changed]"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
 	var originals []*ladiff.Tree
-	for i, src := range versions {
-		doc := ladiff.ParseText(src)
-		originals = append(originals, doc)
-		if err := s.commit(doc); err != nil {
-			log.Fatalf("commit v%d: %v", i+1, err)
-		}
-	}
-	total := 0
-	for _, inv := range s.inverses {
-		total += len(inv)
-	}
-	fmt.Printf("stored: 1 head tree + %d inverse scripts (%d bytes of JSON)\n\n",
-		len(s.inverses), total)
-
-	for v := len(versions) - 1; v >= 0; v-- {
-		got, err := s.checkout(v)
+	originals = append(originals, ladiff.ParseText(versions[0]))
+	for _, src := range versions[1:] {
+		originals = append(originals, ladiff.ParseText(src))
+		res, err := st.Ingest(ctx, "report", "text", src)
 		if err != nil {
-			log.Fatalf("checkout v%d: %v", v+1, err)
+			log.Fatal(err)
 		}
-		ok := ladiff.Isomorphic(got, originals[v])
-		fmt.Printf("checkout v%d: %d nodes, matches original: %v\n", v+1, got.Len(), ok)
+		fmt.Printf("committed v%d: %d nodes, %d ops (%+v)\n",
+			res.Version, res.Nodes, res.Ops.Total(), res.Ops)
+	}
+
+	// Idempotent ingest: the head's fingerprint matches, so no version
+	// is created and the existing number comes back.
+	noop, err := st.Ingest(ctx, "report", "text", versions[len(versions)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-ingest of v%d content: noop=%v, version=%d\n\n", len(versions), noop.Noop, noop.Version)
+
+	// Checkout every version; the store verifies each reconstruction
+	// against the fingerprint recorded at commit time.
+	for v := len(versions); v >= 1; v-- {
+		got, info, err := st.Checkout(ctx, "report", v)
+		if err != nil {
+			log.Fatalf("checkout v%d: %v", v, err)
+		}
+		ok := ladiff.Isomorphic(got, originals[v-1])
+		fmt.Printf("checkout v%d: %d nodes, fp %s..., matches original: %v\n",
+			v, got.Len(), info.Fingerprint[:8], ok)
 		if !ok {
-			log.Fatalf("version %d reconstruction failed:\n%v\nvs\n%v", v+1, got, originals[v])
+			log.Fatalf("version %d reconstruction failed", v)
 		}
 	}
 
-	// Bonus: show what changed between the two middle versions, as a
-	// change report.
-	v2, _ := s.checkout(1)
-	v3, _ := s.checkout(2)
-	res, err := ladiff.Diff(v2, v3, ladiff.Options{})
+	// Diff two stored versions by composing the stored delta chain — no
+	// re-matching, just concatenated scripts in the chain's shared
+	// identifier space.
+	script, ok, err := st.ComposeDiff("report", 2, 3)
+	if err != nil || !ok {
+		log.Fatalf("compose diff: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("\ncomposed diff v2 -> v3: %d ops\n", len(script))
+
+	// Drain the feed: every committed version fired exactly one filtered
+	// change event.
+	sub.Close()
+	fmt.Println("\nfeed events:")
+	for ev := range sub.Events() {
+		fmt.Printf("  %-8s v%d hits=%d\n", ev.Type, ev.Version, ev.TotalHits)
+	}
+
+	// Persistence: close, reopen from the log, and verify the replayed
+	// store serves the same versions.
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st2, err := store.Open(logPath, store.Config{CheckpointEvery: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dt, err := ladiff.BuildDelta(res)
-	if err != nil {
-		log.Fatal(err)
+	defer st2.Close()
+	fmt.Println("\nafter reopen from log:")
+	for v := 1; v <= len(versions); v++ {
+		got, _, err := st2.Checkout(ctx, "report", v)
+		if err != nil {
+			log.Fatalf("checkout v%d after replay: %v", v, err)
+		}
+		fmt.Printf("  v%d intact: %v\n", v, ladiff.Isomorphic(got, originals[v-1]))
 	}
-	fmt.Println("\nchanges v2 -> v3:")
-	fmt.Print(ladiff.RenderTextDelta(dt))
 }

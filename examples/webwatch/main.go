@@ -1,231 +1,181 @@
-// Webwatch demonstrates the paper's opening scenario (§1): a user visits
-// an HTML page repeatedly and wants each revision's changes highlighted —
-// moved paragraphs tombstoned at their old position and flagged at the
-// new one, insertions, deletions and edits classified rather than
-// reported as raw line diffs.
+// Webwatch monitors a web page for meaningful changes — the paper's
+// motivating "notify me when this document changes, but only when it
+// changes in ways I care about" scenario — as a change-feed subscriber.
 //
-// The example simulates four visits to a news page and prints a change
-// digest after each revisit, exactly the workflow the paper proposes for
-// a diff-aware web browser (§9). Before diffing, each revisit compares
-// Merkle root fingerprints of the two snapshots; the final visit changes
-// only markup whitespace, so the fingerprints agree and the diff is
-// skipped outright.
+// Earlier revisions of this example polled: fetch, diff against the
+// previous snapshot, run a rule set over the delta. Now the server does
+// that work. Each crawled page is ingested into the versioned document
+// store, and the watcher holds a single feed subscription whose filter
+// ("**/sentence[ins]" — newly inserted sentences) and ignore pattern
+// (the page's "Last updated" timestamp) are applied server-side:
+// events only arrive for versions where the filter matched after
+// timestamp churn was normalized away. A visit that changes nothing
+// but the timestamp creates a version yet fires no event at all.
 //
-// Run with: go run ./examples/webwatch
+// Two modes:
 //
-// With -server URL the diffs are computed by a running ladiffd instead
-// of in-process — the same watcher as a thin client of the diff
-// service:
+//	go run ./examples/webwatch                          # in-process store
+//	go run ./examples/webwatch -server http://host:8044 # against ladiffd -store
 //
-//	go run ./cmd/ladiffd -addr :8044 &
-//	go run ./examples/webwatch -server http://localhost:8044
+// The -server mode exercises the real client: IngestDoc for the crawl
+// side and WatchFeed (a reconnecting SSE consumer) for the alert side.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"ladiff"
 	"ladiff/internal/client"
+	"ladiff/internal/store"
 )
 
-// Three snapshots of the same page, as a crawler might capture them.
+// visits simulates successive crawls of a news page. Visit 2 adds a
+// breaking-news sentence, visit 3 rewords one (an update, which the
+// insert filter deliberately does not alert on), and visit 4 changes
+// only the timestamp — pure churn the ignore pattern suppresses.
 var visits = []string{
 	`<html><body>
-<h1>Storm updates</h1>
-<p>The storm made landfall early on Tuesday morning. Coastal towns reported minor flooding in low areas. Emergency services remain on standby throughout the region.</p>
-<h1>Local news</h1>
-<p>The library renovation enters its final phase this week. Visitors should use the temporary entrance on Oak Street.</p>
-</body></html>`,
+	<p>Last updated: 2026-08-08 09:00.</p>
+	<p>Markets opened flat this morning. Analysts expect a quiet session.</p>
+	</body></html>`,
 
 	`<html><body>
-<h1>Storm updates</h1>
-<p>The storm made landfall early on Tuesday morning. Coastal towns reported significant flooding in low areas. Emergency services remain on standby throughout the region. Two shelters opened overnight for displaced residents.</p>
-<h1>Local news</h1>
-<p>The library renovation enters its final phase this week. Visitors should use the temporary entrance on Oak Street.</p>
-</body></html>`,
+	<p>Last updated: 2026-08-08 10:00.</p>
+	<p>Markets opened flat this morning. Analysts expect a quiet session.
+	Breaking: the central bank has announced a surprise rate decision.</p>
+	</body></html>`,
 
 	`<html><body>
-<h1>Storm updates</h1>
-<p>Two shelters opened overnight for displaced residents. The storm made landfall early on Tuesday morning. Coastal towns reported significant flooding in low areas. Emergency services remain on standby throughout the region.</p>
-<h1>Local news</h1>
-<p>Visitors should use the temporary entrance on Oak Street.</p>
-</body></html>`,
+	<p>Last updated: 2026-08-08 11:00.</p>
+	<p>Markets opened mixed this morning. Analysts expect a quiet session.
+	Breaking: the central bank has announced a surprise rate decision.</p>
+	</body></html>`,
 
-	// The fourth visit finds the page unchanged apart from markup
-	// whitespace — the common case for a polling watcher, and the one
-	// the Merkle fingerprint makes free: the root hashes agree, so the
-	// watcher skips the diff entirely.
 	`<html><body>
-<h1>Storm updates</h1>
-<p>Two shelters opened overnight for displaced residents.   The storm made landfall early on Tuesday morning. Coastal towns reported significant flooding in low areas. Emergency services remain on standby throughout the region.</p>
-<h1>Local news</h1>
-<p>Visitors should use the temporary entrance on Oak Street.</p>
-</body></html>`,
+	<p>Last updated: 2026-08-08 12:00.</p>
+	<p>Markets opened mixed this morning. Analysts expect a quiet session.
+	Breaking: the central bank has announced a surprise rate decision.</p>
+	</body></html>`,
 }
+
+const (
+	docKey      = "news-page"
+	alertFilter = "**/sentence[ins]" // alert on new sentences only
+	ignoreStamp = `Last updated: .*` // timestamp churn is not news
+)
 
 func main() {
-	serverURL := flag.String("server", "", "base URL of a running ladiffd; empty diffs in-process")
+	serverURL := flag.String("server", "", "ladiffd base URL; empty runs an in-process store")
 	flag.Parse()
 
-	// Active rules (§9): fire on specific kinds of change in specific
-	// parts of the page — here, anything new or edited under any
-	// section, plus a dedicated alert for storm-section changes.
-	var rules ladiff.RuleSet
-	alert := func(rule string, hit ladiff.DeltaHit) {
-		fmt.Printf("   [rule %s] %s: %s\n", rule, hit.Node.Kind, hit.Node.Value)
-	}
-	must := func(err error) {
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	must(rules.On("breaking", "**/sentence[ins]", alert))
-	must(rules.On("corrections", "**/sentence[upd]", alert))
-
-	// One client for the whole watch: the circuit breaker's failure
-	// history only protects the server if it survives across visits.
-	var svc *client.Client
 	if *serverURL != "" {
-		svc = client.New(client.Config{BaseURL: *serverURL})
+		watchViaServer(*serverURL)
+		return
 	}
+	watchInProcess()
+}
 
-	for visit := 1; visit < len(visits); visit++ {
-		// Fingerprint gate: hash both snapshots before diffing. A
-		// revisit that changed nothing (or only markup whitespace the
-		// parser normalizes away) produces the same Merkle root, and
-		// the watcher skips the pipeline — O(bytes) per unchanged
-		// visit instead of a full match-and-generate run.
-		unchanged, err := sameFingerprint(visits[visit-1], visits[visit])
-		if err != nil {
-			log.Fatal(err)
-		}
-		if unchanged {
-			fmt.Printf("== Visit %d: changes since last visit ==\n", visit+1)
-			fmt.Println("   (fingerprint unchanged — diff skipped)")
-			fmt.Println()
-			continue
-		}
-		var (
-			dt  *ladiff.DeltaTree
-			ops int
-		)
-		if svc != nil {
-			dt, ops, err = diffViaServer(svc, visits[visit-1], visits[visit])
-		} else {
-			dt, ops, err = diffInProcess(visits[visit-1], visits[visit])
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("== Visit %d: changes since last visit ==\n", visit+1)
-		if ops == 0 {
-			fmt.Println("   (no changes)")
-		}
-		digest(dt.Root)
-		fired := rules.Apply(dt)
-		fmt.Printf("   rules fired: %s\n\n", deltaSummary(fired))
+func report(ev store.Event) {
+	if ev.Type != store.EventChange {
+		fmt.Printf("[feed]  %s v%d\n", ev.Type, ev.Version)
+		return
+	}
+	fmt.Printf("[ALERT] v%d: %d new sentence(s)\n", ev.Version, ev.TotalHits)
+	for _, h := range ev.Hits {
+		fmt.Printf("        %s %s: %.60q\n", h.Kind, h.Path, h.Value)
 	}
 }
 
-// sameFingerprint parses both snapshots and compares their Merkle root
-// fingerprints — the cheap "did anything change?" probe. Parsing is
-// unavoidable (the fingerprint keys on document structure, not raw
-// bytes, which is what lets whitespace-only edits register as
-// unchanged), but matching and generation are skipped entirely.
-func sameFingerprint(oldSrc, newSrc string) (bool, error) {
-	oldT, err := ladiff.ParseHTML(oldSrc)
-	if err != nil {
-		return false, err
-	}
-	newT, err := ladiff.ParseHTML(newSrc)
-	if err != nil {
-		return false, err
-	}
-	return ladiff.RootFingerprint(oldT) == ladiff.RootFingerprint(newT), nil
-}
+// watchInProcess runs store and subscriber in one process — the shape
+// an embedding application would use.
+func watchInProcess() {
+	st := store.New(store.Config{})
+	defer st.Close()
+	ctx := context.Background()
 
-// diffInProcess runs the pipeline locally, as the original example did.
-func diffInProcess(oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
-	oldT, err := ladiff.ParseHTML(oldSrc)
-	if err != nil {
-		return nil, 0, err
+	if _, err := st.Ingest(ctx, docKey, "html", visits[0]); err != nil {
+		log.Fatal(err)
 	}
-	newT, err := ladiff.ParseHTML(newSrc)
-	if err != nil {
-		return nil, 0, err
-	}
-	res, err := ladiff.Diff(oldT, newT, ladiff.Options{})
-	if err != nil {
-		return nil, 0, err
-	}
-	dt, err := ladiff.BuildDelta(res)
-	if err != nil {
-		return nil, 0, err
-	}
-	return dt, len(res.Script), nil
-}
-
-// diffViaServer posts the pair to a running ladiffd through the
-// retrying client — a watcher polling for hours should ride out a
-// server restart or a transient 503, not die on it. The client retries
-// with backoff and jitter, honors Retry-After, and stops hammering a
-// down server once its circuit breaker opens.
-func diffViaServer(c *client.Client, oldSrc, newSrc string) (*ladiff.DeltaTree, int, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	resp, err := c.Diff(ctx, client.DiffRequest{
-		Old: oldSrc, New: newSrc, Format: "html", Output: "delta",
+	sub, err := st.Subscribe(docKey, store.SubscribeOptions{
+		Filter: alertFilter,
+		Ignore: []string{ignoreStamp},
 	})
 	if err != nil {
-		return nil, 0, err
+		log.Fatal(err)
 	}
-	if resp.Degraded {
-		log.Printf("webwatch: server produced a degraded diff: %v", resp.DegradedReasons)
+
+	for i, page := range visits[1:] {
+		res, err := st.Ingest(ctx, docKey, "html", page)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("visit %d ingested as v%d (noop=%v)\n", i+2, res.Version, res.Noop)
 	}
-	var dt ladiff.DeltaTree
-	if err := json.Unmarshal(resp.Delta, &dt); err != nil {
-		return nil, 0, fmt.Errorf("decoding ladiffd delta: %w", err)
+
+	// Close the subscription and drain what the feed delivered: the
+	// snapshot seed, then one alert for the breaking-news insert. The
+	// reworded sentence (an update) and the timestamp-only visit fire
+	// nothing.
+	sub.Close()
+	for ev := range sub.Events() {
+		report(ev)
 	}
-	return &dt, resp.Stats.Ops, nil
+	latest, _ := st.Latest(docKey)
+	fmt.Printf("versions stored: %d (every visit kept, alerts filtered)\n", latest.Version)
 }
 
-func deltaSummary(fired map[string]int) string {
-	// delta.Summary is internal; format inline for the example.
-	s := ""
-	for _, name := range []string{"breaking", "corrections"} {
-		if s != "" {
-			s += ", "
-		}
-		s += fmt.Sprintf("%s=%d", name, fired[name])
-	}
-	return s
-}
+// watchViaServer crawls into a remote ladiffd and consumes its SSE
+// change feed through the reconnecting client helper.
+func watchViaServer(baseURL string) {
+	c := client.New(client.Config{BaseURL: baseURL})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-func digest(n *ladiff.DeltaNode) {
-	var walk func(n *ladiff.DeltaNode)
-	walk = func(n *ladiff.DeltaNode) {
-		switch n.Kind {
-		case ladiff.DeltaInserted:
-			if n.Label == "sentence" {
-				fmt.Printf("   NEW      %s\n", n.Value)
-			}
-		case ladiff.DeltaDeleted:
-			if n.Label == "sentence" {
-				fmt.Printf("   REMOVED  %s\n", n.Value)
-			}
-		case ladiff.DeltaUpdated:
-			fmt.Printf("   EDITED   %s\n            (was: %s)\n", n.Value, n.OldValue)
-		case ladiff.DeltaMoveDest:
-			fmt.Printf("   MOVED    %s\n", n.Value)
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
+	// Seed the document so the feed has something to attach to.
+	first, err := c.IngestDoc(ctx, docKey, client.DocPutRequest{Format: "html", Content: visits[0]})
+	if err != nil {
+		log.Fatalf("ingest: %v (is ladiffd running with -store?)", err)
 	}
-	walk(n)
+	fmt.Printf("seeded %s at v%d\n", docKey, first.Version)
+
+	// Crawl the remaining visits in the background while the feed runs.
+	go func() {
+		for i, page := range visits[1:] {
+			time.Sleep(100 * time.Millisecond)
+			res, err := c.IngestDoc(ctx, docKey, client.DocPutRequest{Format: "html", Content: page})
+			if err != nil {
+				log.Printf("ingest visit %d: %v", i+2, err)
+				return
+			}
+			fmt.Printf("visit %d ingested as v%d\n", i+2, res.Version)
+		}
+	}()
+
+	// Watch long enough for the crawls to land. A real watcher would run
+	// WatchFeed forever (it reconnects across server restarts on its
+	// own, and a handler error is how the consumer says "done"); the
+	// example bounds it with a context deadline instead.
+	wctx, wcancel := context.WithTimeout(ctx, 3*time.Second)
+	defer wcancel()
+	err = c.WatchFeed(wctx, docKey, client.FeedOptions{
+		Filter: alertFilter,
+		Ignore: []string{ignoreStamp},
+		Since:  first.Version,
+	}, func(ev client.FeedEvent) error {
+		report(ev)
+		return nil
+	})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+
+	vers, err := c.DocVersions(ctx, docKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("versions stored: %d (every visit kept, alerts filtered)\n", len(vers.Versions))
 }

@@ -1,0 +1,303 @@
+// Version-store performance evidence: the collector behind the
+// BENCH_store.json artifact. It measures the three costs the store's
+// design trades against each other — ingest throughput (parse + diff +
+// delta append), checkout latency as a function of chain depth with and
+// without checkpoint snapshots (the artifact that shows checkpointed
+// checkouts staying flat while plain replay grows linearly), and feed
+// fan-out latency as the subscriber count scales.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ladiff/internal/gen"
+	"ladiff/internal/store"
+)
+
+// StoreIngestResult measures committing one class's version chain.
+type StoreIngestResult struct {
+	Class    string `json:"class"`
+	OldNodes int    `json:"old_nodes"`
+	Versions int    `json:"versions"`
+	// Seconds is the wall time to ingest the whole chain.
+	Seconds        float64 `json:"seconds"`
+	VersionsPerSec float64 `json:"versions_per_sec"`
+	MeanUS         int64   `json:"mean_us"`
+	// NoopUS is the latency of re-ingesting the head verbatim: the
+	// Merkle fingerprint short-circuit, which must sit far below a real
+	// ingest because it stops after parse + hash.
+	NoopUS int64 `json:"noop_us"`
+}
+
+// StoreCheckoutPoint compares one replay depth across the two
+// checkpoint configurations. Depth is the version's distance from the
+// head; in the plain store that is exactly the number of inverse
+// scripts replayed, in the checkpointed store the nearest snapshot
+// bounds it by the checkpoint interval.
+type StoreCheckoutPoint struct {
+	Depth   int `json:"depth"`
+	Version int `json:"version"`
+	// Plain: CheckpointEvery < 0, the head is the only snapshot.
+	PlainUS      int64   `json:"plain_us"`
+	PlainReplays float64 `json:"plain_replays"`
+	// Checkpointed: a snapshot every CheckpointEvery versions.
+	CheckpointUS      int64   `json:"checkpoint_us"`
+	CheckpointReplays float64 `json:"checkpoint_replays"`
+}
+
+// StoreFanoutPoint measures one fan-out width: the time from the start
+// of an ingest until every subscriber has received its change event
+// (subscriptions are unfiltered, so every commit fires every feed).
+type StoreFanoutPoint struct {
+	Subscribers int   `json:"subscribers"`
+	Ingests     int   `json:"ingests"`
+	MeanUS      int64 `json:"mean_us"`
+	P95US       int64 `json:"p95_us"`
+}
+
+// StorePerfReport is the full BENCH_store.json payload.
+type StorePerfReport struct {
+	Benchmark       string               `json:"benchmark"`
+	ChainDepth      int                  `json:"chain_depth"`
+	CheckpointEvery int                  `json:"checkpoint_every"`
+	Ingest          []StoreIngestResult  `json:"ingest"`
+	Checkout        []StoreCheckoutPoint `json:"checkout"`
+	Fanout          []StoreFanoutPoint   `json:"fanout"`
+	// Stats is the checkpointed store's own counter scrape after the
+	// checkout sweep.
+	Stats store.Stats `json:"stats"`
+}
+
+// storeChain builds depth+1 successive versions of a document as tree
+// sources: a generated base, then one perturbation round per step, each
+// applied to its predecessor so the chain drifts the way a watched
+// document does.
+func storeChain(params gen.DocParams, depth, opsPerStep int) ([]string, int, error) {
+	doc := gen.Document(params)
+	nodes := doc.Len()
+	sources := []string{doc.String()}
+	for i := 0; i < depth; i++ {
+		pert, err := gen.Perturb(doc, gen.Mix(params.Seed*1000+int64(i), opsPerStep))
+		if err != nil {
+			return nil, 0, err
+		}
+		doc = pert.New
+		sources = append(sources, doc.String())
+	}
+	return sources, nodes, nil
+}
+
+// CollectStorePerf runs the store benchmark suite. depth is the chain
+// length for the checkout sweep (0 = 64); the checkpoint interval is
+// the store's default (8).
+func CollectStorePerf(depth int) (*StorePerfReport, error) {
+	if depth <= 0 {
+		depth = 64
+	}
+	const checkpointEvery = 8
+	report := &StorePerfReport{
+		Benchmark:       "CollectStorePerf",
+		ChainDepth:      depth,
+		CheckpointEvery: checkpointEvery,
+	}
+	ctx := context.Background()
+
+	// Ingest throughput per document class.
+	for _, set := range Sets()[:2] {
+		sources, nodes, err := storeChain(set.Params, 32, 6)
+		if err != nil {
+			return nil, fmt.Errorf("bench: storeperf chain for %s: %w", set.Name, err)
+		}
+		res, err := runStoreIngest(ctx, set.Name, nodes, sources)
+		if err != nil {
+			return nil, fmt.Errorf("bench: storeperf ingest %s: %w", set.Name, err)
+		}
+		report.Ingest = append(report.Ingest, res)
+	}
+
+	// Checkout latency vs chain depth, with and without checkpoints,
+	// over the same committed chain.
+	sources, _, err := storeChain(Sets()[0].Params, depth, 4)
+	if err != nil {
+		return nil, fmt.Errorf("bench: storeperf checkout chain: %w", err)
+	}
+	plain := store.New(store.Config{CheckpointEvery: -1})
+	defer plain.Close()
+	checkpointed := store.New(store.Config{CheckpointEvery: checkpointEvery})
+	defer checkpointed.Close()
+	for _, src := range sources {
+		if _, err := plain.Ingest(ctx, "doc", "tree", src); err != nil {
+			return nil, fmt.Errorf("bench: storeperf ingest into plain store: %w", err)
+		}
+		if _, err := checkpointed.Ingest(ctx, "doc", "tree", src); err != nil {
+			return nil, fmt.Errorf("bench: storeperf ingest into checkpointed store: %w", err)
+		}
+	}
+	n := len(sources)
+	for _, d := range []int{1, 4, 8, 16, 32, 64} {
+		if d > depth {
+			break
+		}
+		v := n - d
+		point := StoreCheckoutPoint{Depth: d, Version: v}
+		point.PlainUS, point.PlainReplays, err = timeCheckouts(ctx, plain, v)
+		if err != nil {
+			return nil, fmt.Errorf("bench: storeperf plain checkout v%d: %w", v, err)
+		}
+		point.CheckpointUS, point.CheckpointReplays, err = timeCheckouts(ctx, checkpointed, v)
+		if err != nil {
+			return nil, fmt.Errorf("bench: storeperf checkpointed checkout v%d: %w", v, err)
+		}
+		report.Checkout = append(report.Checkout, point)
+	}
+	report.Stats = checkpointed.Stats()
+
+	// Feed fan-out latency vs subscriber count.
+	for _, subs := range []int{1, 16, 128} {
+		point, err := runStoreFanout(ctx, subs, 24)
+		if err != nil {
+			return nil, fmt.Errorf("bench: storeperf fanout %d: %w", subs, err)
+		}
+		report.Fanout = append(report.Fanout, point)
+	}
+	return report, nil
+}
+
+// runStoreIngest commits the chain into a fresh in-memory store and
+// times it, then re-ingests the head to measure the noop short-circuit.
+func runStoreIngest(ctx context.Context, class string, nodes int, sources []string) (StoreIngestResult, error) {
+	s := store.New(store.Config{})
+	defer s.Close()
+	res := StoreIngestResult{Class: class, OldNodes: nodes, Versions: len(sources)}
+
+	start := time.Now()
+	for _, src := range sources {
+		if _, err := s.Ingest(ctx, "doc", "tree", src); err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+	res.Seconds = elapsed.Seconds()
+	if res.Seconds > 0 {
+		res.VersionsPerSec = float64(len(sources)) / res.Seconds
+	}
+	res.MeanUS = elapsed.Microseconds() / int64(len(sources))
+
+	const noopReps = 16
+	head := sources[len(sources)-1]
+	start = time.Now()
+	for i := 0; i < noopReps; i++ {
+		r, err := s.Ingest(ctx, "doc", "tree", head)
+		if err != nil {
+			return res, err
+		}
+		if !r.Noop {
+			return res, fmt.Errorf("head re-ingest did not short-circuit")
+		}
+	}
+	res.NoopUS = time.Since(start).Microseconds() / noopReps
+	return res, nil
+}
+
+// timeCheckouts measures the mean checkout latency of version v and the
+// mean number of inverse scripts replayed per checkout (read from the
+// store's replay counter, so the reported depth is the executed one).
+func timeCheckouts(ctx context.Context, s *store.Store, v int) (int64, float64, error) {
+	const reps = 128
+	before := s.Stats().CheckoutReplayOps
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, _, err := s.Checkout(ctx, "doc", v); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	replays := float64(s.Stats().CheckoutReplayOps-before) / reps
+	return elapsed.Microseconds() / reps, replays, nil
+}
+
+// runStoreFanout subscribes width unfiltered feeds to one document and
+// measures, over a series of commits, how long the slowest subscriber
+// takes to see each change event.
+func runStoreFanout(ctx context.Context, width, ingests int) (StoreFanoutPoint, error) {
+	point := StoreFanoutPoint{Subscribers: width, Ingests: ingests}
+	sources, _, err := storeChain(Sets()[0].Params, ingests, 4)
+	if err != nil {
+		return point, err
+	}
+	s := store.New(store.Config{FeedBuffer: 4})
+	defer s.Close()
+	if _, err := s.Ingest(ctx, "doc", "tree", sources[0]); err != nil {
+		return point, err
+	}
+
+	// ingestStart carries the current commit's start time to the
+	// subscriber goroutines; commits are strictly sequential, so one
+	// cell is enough.
+	var ingestStart atomic.Int64
+	received := make(chan int64, width*2)
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		sub, err := s.Subscribe("doc", store.SubscribeOptions{})
+		if err != nil {
+			return point, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range sub.Events() {
+				if ev.Type != store.EventChange {
+					continue // the snapshot preamble is not a fan-out
+				}
+				received <- time.Since(time.Unix(0, ingestStart.Load())).Microseconds()
+			}
+		}()
+	}
+
+	var lastUS []int64
+	for _, src := range sources[1:] {
+		ingestStart.Store(time.Now().UnixNano())
+		if _, err := s.Ingest(ctx, "doc", "tree", src); err != nil {
+			return point, err
+		}
+		var worst int64
+		for i := 0; i < width; i++ {
+			select {
+			case us := <-received:
+				if us > worst {
+					worst = us
+				}
+			case <-time.After(10 * time.Second):
+				return point, fmt.Errorf("fan-out stalled: %d/%d receipts", i, width)
+			}
+		}
+		lastUS = append(lastUS, worst)
+	}
+	s.CloseFeeds()
+	wg.Wait()
+
+	sort.Slice(lastUS, func(i, j int) bool { return lastUS[i] < lastUS[j] })
+	var sum int64
+	for _, us := range lastUS {
+		sum += us
+	}
+	point.MeanUS = sum / int64(len(lastUS))
+	point.P95US = latencyQuantile(lastUS, 0.95)
+	return point, nil
+}
+
+// WriteStorePerf writes the report as indented JSON to path.
+func (r *StorePerfReport) WriteStorePerf(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

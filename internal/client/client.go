@@ -248,13 +248,23 @@ func retryAfter(h http.Header) time.Duration {
 // do POSTs body to path with the full retry/backoff/breaker treatment
 // and decodes a 200 response into out.
 func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	return c.doMethod(ctx, http.MethodPost, path, body, out)
+}
+
+// doMethod is do generalized over the HTTP method: the document-store
+// endpoints are resource-shaped (PUT ingest, GET reads), unlike the
+// original POST-only RPC pair. A nil body sends no payload.
+func (c *Client) doMethod(ctx context.Context, method, path string, body, out any) error {
 	if err := c.checkBreaker(); err != nil {
 		return err
 	}
-	payload, err := json.Marshal(body)
-	if err != nil {
-		c.report(false) // caller bug, not a server failure
-		return fmt.Errorf("client: encoding request: %w", err)
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			c.report(false) // caller bug, not a server failure
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
 	}
 	// One request id for the whole logical request: every retry of it
 	// carries the same X-Request-Id, so server traces and access logs
@@ -262,7 +272,7 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 	id := obs.NewRequestID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.attempt(ctx, path, id, payload, out)
+		lastErr = c.attempt(ctx, method, path, id, payload, out)
 		if lastErr == nil {
 			c.report(false)
 			return nil
@@ -292,15 +302,20 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 }
 
 // attempt runs one HTTP round trip under the per-attempt deadline.
-func (c *Client) attempt(ctx context.Context, path, id string, payload []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, method, path, id string, payload []byte, out any) error {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost,
-		c.cfg.BaseURL+path, bytes.NewReader(payload))
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	req.Header.Set("X-Request-Id", id)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

@@ -1,0 +1,245 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladiff/internal/server"
+	"ladiff/internal/store"
+)
+
+// newFeedServer boots a real server backed by a fresh in-memory store.
+func newFeedServer(t *testing.T) (*store.Store, *httptest.Server) {
+	t.Helper()
+	st := store.New(store.Config{})
+	t.Cleanup(func() { st.Close() })
+	s := server.New(server.Config{
+		Store:  st,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return st, ts
+}
+
+// watchPages are a document's successive versions: the anchor sentences
+// stay put so the chain never rebases, the stamp churns every visit,
+// and v3 carries the one real edit.
+var watchPages = []string{
+	"Stamp 100. Body text stays here now. Footer stays constant always.",
+	"Stamp 200. Body text stays here now. Footer stays constant always.",
+	"Stamp 300. Body text stays here today. Footer stays constant always.",
+}
+
+// TestWatchFeedEndToEnd drives WatchFeed against a real server: the
+// snapshot arrives first, ignored churn is suppressed, a real change
+// fires with its filter hits, and a handler error ends the watch and is
+// returned as-is.
+func TestWatchFeedEndToEnd(t *testing.T) {
+	st, ts := newFeedServer(t)
+	ctx := context.Background()
+	if _, err := st.Ingest(ctx, "page", "text", watchPages[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Config{BaseURL: ts.URL})
+	var events []FeedEvent
+	errDone := errors.New("seen enough")
+	watched := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		watched <- c.WatchFeed(ctx, "page", FeedOptions{
+			Filter: "**/sentence[changed]",
+			Ignore: []string{`Stamp \d+`},
+		}, func(ev FeedEvent) error {
+			events = append(events, ev)
+			if ev.Type == store.EventSnapshot {
+				close(started)
+			}
+			if ev.Type == store.EventChange {
+				return errDone
+			}
+			return nil
+		})
+	}()
+	select {
+	case <-started:
+	case err := <-watched:
+		t.Fatalf("WatchFeed ended before the snapshot: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no snapshot event within 5s")
+	}
+
+	// v2 is stamp-only churn (suppressed by the ignore pattern); v3 has
+	// a real sentence edit and must be the event that ends the watch.
+	for _, page := range watchPages[1:] {
+		if _, err := st.Ingest(ctx, "page", "text", page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-watched:
+		if !errors.Is(err, errDone) {
+			t.Fatalf("WatchFeed returned %v, want the handler's own error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchFeed did not return after the handler error")
+	}
+
+	if len(events) != 2 {
+		t.Fatalf("handler saw %d events, want snapshot + one change: %+v", len(events), events)
+	}
+	if events[0].Type != store.EventSnapshot || events[0].Version != 1 {
+		t.Errorf("first event = %s v%d, want snapshot v1", events[0].Type, events[0].Version)
+	}
+	change := events[1]
+	if change.Type != store.EventChange || change.Version != 3 {
+		t.Errorf("change event = %s v%d, want change v3 (v2 suppressed)", change.Type, change.Version)
+	}
+	if change.TotalHits == 0 {
+		t.Error("change event carries no filter hits")
+	}
+}
+
+// TestWatchFeedReconnectResumesSince cuts the stream after two events
+// and checks the client backs off, reconnects, and resumes with
+// since=<last seen version> so no committed version is re-announced.
+func TestWatchFeedReconnectResumesSince(t *testing.T) {
+	var conns atomic.Int64
+	sinceSeen := make(chan string, 4)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		sinceSeen <- r.URL.Query().Get("since")
+		w.Header().Set("Content-Type", "text/event-stream")
+		send := func(ev store.Event) {
+			fmt.Fprintf(w, "event: %s\ndata: {\"type\":%q,\"key\":\"k\",\"version\":%d}\n\n",
+				ev.Type, ev.Type, ev.Version)
+			w.(http.Flusher).Flush()
+		}
+		if n == 1 {
+			send(store.Event{Type: store.EventSnapshot, Version: 2})
+			send(store.Event{Type: store.EventChange, Version: 3})
+			return // server drops the connection mid-feed
+		}
+		send(store.Event{Type: store.EventSnapshot, Version: 3})
+		send(store.Event{Type: store.EventChange, Version: 4})
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{})
+	var versions []int
+	errDone := errors.New("done")
+	err := c.WatchFeed(context.Background(), "k", FeedOptions{}, func(ev FeedEvent) error {
+		versions = append(versions, ev.Version)
+		if ev.Version == 4 {
+			return errDone
+		}
+		return nil
+	})
+	if !errors.Is(err, errDone) {
+		t.Fatalf("WatchFeed returned %v, want the handler's stop error", err)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Fatalf("server saw %d connections, want 2", got)
+	}
+	if first := <-sinceSeen; first != "" {
+		t.Errorf("first connection sent since=%q, want none", first)
+	}
+	if second := <-sinceSeen; second != "3" {
+		t.Errorf("reconnect sent since=%q, want 3 (last seen version)", second)
+	}
+	if len(*slept) == 0 {
+		t.Error("client reconnected without backing off")
+	}
+	want := []int{2, 3, 3, 4}
+	if len(versions) != len(want) {
+		t.Fatalf("handler saw versions %v, want %v", versions, want)
+	}
+	for i, v := range want {
+		if versions[i] != v {
+			t.Fatalf("handler saw versions %v, want %v", versions, want)
+		}
+	}
+}
+
+// TestWatchFeedRetriesTransientSubscribe: a 429 on subscribe is retried
+// after the server's Retry-After, and a successful connection resets
+// the backoff schedule.
+func TestWatchFeedRetriesTransientSubscribe(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if conns.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"feeds_exhausted","message":"try later"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: {\"type\":\"snapshot\",\"key\":\"k\",\"version\":1}\n\n")
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{})
+	errDone := errors.New("done")
+	err := c.WatchFeed(context.Background(), "k", FeedOptions{}, func(ev FeedEvent) error {
+		return errDone
+	})
+	if !errors.Is(err, errDone) {
+		t.Fatalf("WatchFeed returned %v, want the handler's stop error", err)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Fatalf("server saw %d connections, want 2", got)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Errorf("backoffs %v, want one 2s sleep from Retry-After", *slept)
+	}
+}
+
+// TestWatchFeedPermanentError: a 404 for an unknown document is
+// definitive — WatchFeed returns it without reconnecting.
+func TestWatchFeedPermanentError(t *testing.T) {
+	_, ts := newFeedServer(t)
+	c := New(Config{BaseURL: ts.URL})
+	err := c.WatchFeed(context.Background(), "no-such-doc", FeedOptions{}, func(ev FeedEvent) error {
+		t.Error("handler called for an unknown document")
+		return nil
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("WatchFeed returned %v, want a 404 APIError", err)
+	}
+}
+
+// TestWatchFeedContextCancel: cancelling the caller's context ends the
+// watch promptly even while the stream is idle.
+func TestWatchFeedContextCancel(t *testing.T) {
+	st, ts := newFeedServer(t)
+	if _, err := st.Ingest(context.Background(), "page", "text", watchPages[0]); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{BaseURL: ts.URL})
+	ctx, cancel := context.WithCancel(context.Background())
+	watched := make(chan error, 1)
+	go func() {
+		watched <- c.WatchFeed(ctx, "page", FeedOptions{}, func(ev FeedEvent) error {
+			cancel() // give up after the snapshot, mid-idle-stream
+			return nil
+		})
+	}()
+	select {
+	case err := <-watched:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("WatchFeed returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchFeed did not return after cancellation")
+	}
+}

@@ -43,12 +43,16 @@ const (
 	// Server I/O.
 	ServerRead  Point = "server.read"  // wraps request-body reads
 	ServerWrite Point = "server.write" // checked before response writes
+	// Version store.
+	StoreIngest  Point = "store.ingest"  // checked at Store.Ingest entry
+	StorePersist Point = "store.persist" // checked before each log append
 )
 
 // Points lists every declared injection point, for spec validation.
 var Points = []Point{
 	ParseLatex, ParseHTML, ParseText, ParseXML, ParseJSON, ParseTree,
 	Match, Generate, GenIndex, ServerRead, ServerWrite,
+	StoreIngest, StorePersist,
 }
 
 // Mode selects what an armed point does when its probability fires.

@@ -2,16 +2,19 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 
 	"ladiff"
+	"ladiff/internal/store"
 )
 
-// Formats is the list of parser front ends /v1/diff and /v1/patch
-// accept. "json" diffs arbitrary JSON documents structurally (jsondoc);
-// "tree" is the generic indented wire format of (*Tree).String, the
-// domain-agnostic entry for object hierarchies and database dumps.
-var Formats = []string{"latex", "html", "text", "xml", "json", "tree"}
+// Formats is the list of parser front ends /v1/diff, /v1/patch, and the
+// document-store endpoints accept — one canonical list, owned by
+// internal/store (whose persistence replay depends on these parsers'
+// determinism). "json" diffs arbitrary JSON documents structurally
+// (jsondoc); "tree" is the generic indented wire format of
+// (*Tree).String, the domain-agnostic entry for object hierarchies and
+// database dumps.
+var Formats = store.Formats
 
 // Outputs is the list of render back ends /v1/diff supports: the raw
 // edit-script operations, the delta-tree JSON of internal/delta (the
@@ -24,43 +27,13 @@ var Outputs = []string{"script", "delta", "marked"}
 // at the limit (ladiff.ErrLimit) instead of materializing a huge tree
 // that is measured afterwards.
 func parseDoc(format, src string, lim ladiff.ParseLimits) (*ladiff.Tree, error) {
-	switch format {
-	case "latex":
-		return ladiff.ParseLatexLimited(src, lim)
-	case "html":
-		return ladiff.ParseHTMLLimited(src, lim)
-	case "text":
-		return ladiff.ParseTextLimited(src, lim)
-	case "xml":
-		return ladiff.ParseXMLLimited(src, lim)
-	case "json":
-		return ladiff.ParseJSONLimited(src, lim)
-	case "tree":
-		return ladiff.ParseTreeLimited(src, lim)
-	default:
-		return nil, fmt.Errorf("unknown format %q (want one of %v)", format, Formats)
-	}
+	return store.ParseDoc(format, src, lim)
 }
 
 // renderDoc renders a document tree back into the named format, the
 // inverse of parseDoc used by /v1/patch to return patched documents.
 func renderDoc(format string, t *ladiff.Tree) (string, error) {
-	switch format {
-	case "latex":
-		return ladiff.RenderLatexPlain(t), nil
-	case "html":
-		return ladiff.RenderHTML(t), nil
-	case "text":
-		return ladiff.RenderText(t), nil
-	case "xml":
-		return ladiff.RenderXML(t), nil
-	case "json":
-		return ladiff.RenderJSON(t)
-	case "tree":
-		return t.String(), nil
-	default:
-		return "", fmt.Errorf("unknown format %q (want one of %v)", format, Formats)
-	}
+	return store.RenderDoc(format, t)
 }
 
 // renderMarked renders a delta tree as a marked-up document in the
@@ -81,12 +54,7 @@ func renderMarked(format string, dt *ladiff.DeltaTree) string {
 
 // validFormat reports whether format names a known parser front end.
 func validFormat(format string) bool {
-	for _, f := range Formats {
-		if f == format {
-			return true
-		}
-	}
-	return false
+	return store.ValidFormat(format)
 }
 
 // validOutput reports whether output names a known render back end.

@@ -607,7 +607,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.Snapshot())
+	snap := s.met.Snapshot()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		snap.Store = &st
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // waitTestGate blocks until the test gate opens; a nil gate (every

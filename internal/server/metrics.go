@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"ladiff/internal/obs"
+	"ladiff/internal/store"
 )
 
 // Phase indexes the per-phase latency histograms: the four stages every
@@ -106,7 +107,12 @@ type MetricsSnapshot struct {
 	// Cache reports the fingerprint-keyed diff cache: hit/miss/eviction
 	// traffic plus current size and configured capacity (all zero when
 	// DiffCacheEntries is 0).
-	Cache     CacheSnapshot                `json:"cache"`
+	Cache CacheSnapshot `json:"cache"`
+	// Store reports the versioned document store (docs, versions, noop
+	// ingests, feed fan-out and drop counters); nil when no store is
+	// configured. Populated by the scrape handler, not by Snapshot —
+	// the store owns its own counters.
+	Store     *store.Stats                 `json:"store,omitempty"`
 	PhaseUS   map[string]HistogramSnapshot `json:"phase_us"`
 	RequestUS HistogramSnapshot            `json:"request_us"`
 	// Engine merges the process-wide obs registry into the scrape: the

@@ -11,11 +11,13 @@ import (
 	"runtime"
 	runtimepprof "runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ladiff"
 	"ladiff/internal/lderr"
 	"ladiff/internal/obs"
+	"ladiff/internal/store"
 )
 
 // Config tunes one Server. The zero value is usable: every field has a
@@ -71,6 +73,23 @@ type Config struct {
 	// holds is served without re-running the pipeline. 0 (the default)
 	// disables caching entirely.
 	DiffCacheEntries int
+	// Store enables the versioned-document endpoints (/v1/docs/...):
+	// ingest, version listing, checkout, version diff, and SSE change
+	// feeds. Nil leaves the endpoints unmounted. The server does not own
+	// the store's lifecycle beyond feeds: Shutdown closes every feed
+	// subscription (so handlers drain), but closing the store itself —
+	// and its persistence log — is the embedder's job.
+	Store *store.Store
+	// FeedHeartbeat is the interval between SSE keepalive comments on an
+	// idle feed, keeping intermediaries from timing the stream out.
+	// 0 means 15s.
+	FeedHeartbeat time.Duration
+	// MaxFeeds bounds concurrently open feed subscriptions across all
+	// documents; excess subscribers get 429. Feeds are long-lived and
+	// deliberately do not hold admission slots (a thousand idle feeds
+	// must not starve diff traffic), so they need their own bound.
+	// 0 means 256.
+	MaxFeeds int
 	// Logger receives structured access logs. Nil means slog.Default.
 	Logger *slog.Logger
 }
@@ -103,6 +122,12 @@ func (c Config) withDefaults() Config {
 	if _, ok := ladiff.MatcherByName(c.DefaultEngine); !ok {
 		c.DefaultEngine = ""
 	}
+	if c.FeedHeartbeat <= 0 {
+		c.FeedHeartbeat = 15 * time.Second
+	}
+	if c.MaxFeeds <= 0 {
+		c.MaxFeeds = 256
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -130,6 +155,9 @@ type Server struct {
 	draining bool
 	// inflight counts admitted requests so Shutdown can wait for them.
 	inflight sync.WaitGroup
+
+	// feeds counts open feed subscriptions against Config.MaxFeeds.
+	feeds atomic.Int64
 
 	// testGate, when non-nil, blocks every handler after admission
 	// until the channel is closed — a deterministic hook for the
@@ -159,6 +187,14 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("POST /v1/patch", s.handlePatch)
+	if s.cfg.Store != nil {
+		mux.HandleFunc("GET /v1/docs", s.handleDocList)
+		mux.HandleFunc("PUT /v1/docs/{key}", s.handleDocPut)
+		mux.HandleFunc("GET /v1/docs/{key}/versions", s.handleDocVersions)
+		mux.HandleFunc("GET /v1/docs/{key}/versions/{n}", s.handleDocCheckout)
+		mux.HandleFunc("GET /v1/docs/{key}/diff", s.handleDocDiff)
+		mux.HandleFunc("GET /v1/docs/{key}/feed", s.handleDocFeed)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.accessLog(s.observe(s.recoverPanics(mux)))
@@ -284,11 +320,15 @@ func (s *Server) BeginDrain() {
 	s.mu.Unlock()
 }
 
-// Shutdown drains the server gracefully: it begins draining, then
-// waits until every in-flight request has finished or ctx ends,
-// returning ctx.Err() in the latter case.
+// Shutdown drains the server gracefully: it begins draining, closes
+// every open feed subscription (feed handlers see their event channel
+// close and exit), then waits until every in-flight request has
+// finished or ctx ends, returning ctx.Err() in the latter case.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	if s.cfg.Store != nil {
+		s.cfg.Store.CloseFeeds()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -320,6 +360,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	}
 	return r.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the wrapped writer so http.ResponseController can
+// reach Flush/SetWriteDeadline through the middleware layers — the SSE
+// feed handler depends on this.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // accessLog wraps next with a structured per-request log line.
 func (s *Server) accessLog(next http.Handler) http.Handler {

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"ladiff"
+	"ladiff/internal/fault"
+	"ladiff/internal/lderr"
+	"ladiff/internal/store"
+)
+
+// The document-store endpoints, mounted when Config.Store is set:
+//
+//	PUT /v1/docs/{key}              ingest the next version of a document
+//	GET /v1/docs                    list documents
+//	GET /v1/docs/{key}/versions     list a document's version chain
+//	GET /v1/docs/{key}/versions/{n} check out one version
+//	GET /v1/docs/{key}/diff         diff two versions (?from=&to=)
+//	GET /v1/docs/{key}/feed         SSE change feed (?filter=&ignore=&since=)
+//
+// Ingest, checkout, and diff ride the same admission/drain machinery as
+// /v1/diff: they hold slots while doing CPU work and are refused while
+// draining. Feeds are long-lived, so they count against Config.MaxFeeds
+// instead of holding an admission slot, but they do register in the
+// in-flight set — Shutdown closes their subscriptions and waits for the
+// handlers to unwind, which is what makes drain clean.
+
+// DocPutRequest is the body of PUT /v1/docs/{key}.
+type DocPutRequest struct {
+	// Format selects the parser front end (see Formats). The first
+	// ingest pins the document's format; later ingests must repeat it.
+	Format string `json:"format"`
+	// Content is the document source text.
+	Content string `json:"content"`
+	// TimeoutMs bounds the ingest diff; zero means the server default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// DocPutResponse is the body of a successful ingest.
+type DocPutResponse struct {
+	Key     string `json:"key"`
+	Version int    `json:"version"`
+	// Noop reports an idempotent ingest: the content was fingerprint-
+	// identical to the current head and Version is the existing latest
+	// version.
+	Noop        bool           `json:"noop,omitempty"`
+	Fingerprint string         `json:"fingerprint"`
+	Nodes       int            `json:"nodes"`
+	Ops         store.OpCounts `json:"ops"`
+}
+
+// DocInfo is one document in the GET /v1/docs listing.
+type DocInfo struct {
+	Key    string            `json:"key"`
+	Format string            `json:"format"`
+	Latest store.VersionInfo `json:"latest"`
+}
+
+// DocListResponse is the body of GET /v1/docs.
+type DocListResponse struct {
+	Docs []DocInfo `json:"docs"`
+}
+
+// DocVersionsResponse is the body of GET /v1/docs/{key}/versions.
+type DocVersionsResponse struct {
+	Key      string              `json:"key"`
+	Format   string              `json:"format"`
+	Versions []store.VersionInfo `json:"versions"`
+}
+
+// DocCheckoutResponse is the body of GET /v1/docs/{key}/versions/{n}:
+// the requested version rendered back into the document's own format.
+type DocCheckoutResponse struct {
+	Key         string `json:"key"`
+	Format      string `json:"format"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Nodes       int    `json:"nodes"`
+	Document    string `json:"document"`
+}
+
+// DocDiffResponse is the body of GET /v1/docs/{key}/diff. Exactly one
+// of Script, Delta, Document is populated, per the requested output.
+type DocDiffResponse struct {
+	Key    string `json:"key"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Format string `json:"format"`
+	Output string `json:"output"`
+	// Mode reports how the diff was produced: "compose" (stored delta
+	// chain concatenated — exact, cheap, but not minimized) or "rediff"
+	// (both versions checked out and re-diffed).
+	Mode     string          `json:"mode"`
+	Script   ladiff.Script   `json:"script,omitempty"`
+	Delta    json.RawMessage `json:"delta,omitempty"`
+	Document string          `json:"document,omitempty"`
+	Ops      int             `json:"ops"`
+}
+
+// storeError maps a store failure onto HTTP, mirroring failPipeline's
+// taxonomy mapping with the store's own sentinels on top.
+func (s *Server) storeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrUnknownKey), errors.Is(err, store.ErrUnknownVersion):
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, store.ErrFormatMismatch):
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusConflict, "format_mismatch", err.Error())
+	case errors.Is(err, store.ErrClosed), errors.Is(err, store.ErrLogBroken):
+		s.met.Errors.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "store_unavailable", err.Error())
+	default:
+		switch lderr.KindOf(err) {
+		case lderr.ErrParse:
+			s.met.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "parse_error", err.Error())
+		case lderr.ErrLimit:
+			s.met.RejectedSize.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "tree_too_large", err.Error())
+		case lderr.ErrCanceled:
+			s.met.Timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+		default:
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		}
+	}
+}
+
+func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	key := r.PathValue("key")
+	var req DocPutRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if !validFormat(req.Format) {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown format %q (want one of %v)", req.Format, Formats))
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	s.waitTestGate()
+
+	res, err := s.cfg.Store.Ingest(ctx, key, req.Format, req.Content)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DocPutResponse{
+		Key: res.Key, Version: res.Version, Noop: res.Noop,
+		Fingerprint: res.Fingerprint, Nodes: res.Nodes, Ops: res.Ops,
+	})
+}
+
+func (s *Server) handleDocList(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	keys := s.cfg.Store.Keys()
+	sort.Strings(keys)
+	resp := DocListResponse{Docs: make([]DocInfo, 0, len(keys))}
+	for _, key := range keys {
+		latest, err := s.cfg.Store.Latest(key)
+		if err != nil {
+			continue // racing a concurrent close; skip
+		}
+		format, err := s.cfg.Store.Format(key)
+		if err != nil {
+			continue
+		}
+		resp.Docs = append(resp.Docs, DocInfo{Key: key, Format: format, Latest: latest})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDocVersions(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	key := r.PathValue("key")
+	versions, err := s.cfg.Store.Versions(key)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	format, err := s.cfg.Store.Format(key)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DocVersionsResponse{Key: key, Format: format, Versions: versions})
+}
+
+func (s *Server) handleDocCheckout(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	key := r.PathValue("key")
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"version must be an integer, got "+r.PathValue("n"))
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(0))
+	defer cancel()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	s.waitTestGate()
+
+	t, info, err := s.cfg.Store.Checkout(ctx, key, n)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	format, err := s.cfg.Store.Format(key)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	doc, err := renderDoc(format, t)
+	if err != nil {
+		s.met.Errors.Add(1)
+		writeError(w, http.StatusInternalServerError, "internal", "render: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, DocCheckoutResponse{
+		Key: key, Format: format, Version: info.Version,
+		Fingerprint: info.Fingerprint, Nodes: info.Nodes, Document: doc,
+	})
+}
+
+func (s *Server) handleDocDiff(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	key := r.PathValue("key")
+	q := r.URL.Query()
+	from, err1 := strconv.Atoi(q.Get("from"))
+	to, err2 := strconv.Atoi(q.Get("to"))
+	if err1 != nil || err2 != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"from and to must be integer version numbers")
+		return
+	}
+	output := q.Get("output")
+	if output == "" {
+		output = "script"
+	}
+	if !validOutput(output) {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown output %q (want one of %v)", output, Outputs))
+		return
+	}
+	mode := q.Get("mode")
+	switch mode {
+	case "", "auto", "compose", "rediff":
+	default:
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown mode %q (want auto, compose, or rediff)", mode))
+		return
+	}
+	// Delta and marked outputs need a matching between the two versions,
+	// which only a fresh diff has; the composed chain is script-only.
+	if mode == "compose" && output != "script" {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"mode=compose supports output=script only")
+		return
+	}
+
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(0))
+	defer cancel()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	s.waitTestGate()
+
+	format, err := s.cfg.Store.Format(key)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	resp := DocDiffResponse{Key: key, From: from, To: to, Format: format, Output: output}
+
+	if output == "script" && mode != "rediff" {
+		script, ok, err := s.cfg.Store.ComposeDiff(key, from, to)
+		if err != nil {
+			s.storeError(w, err)
+			return
+		}
+		if ok {
+			resp.Mode = "compose"
+			resp.Script = script
+			resp.Ops = len(script)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if mode == "compose" {
+			s.met.BadRequests.Add(1)
+			writeError(w, http.StatusConflict, "rebase_boundary",
+				"no contiguous delta chain between the versions (rebase boundary); use mode=rediff")
+			return
+		}
+	}
+
+	res, err := s.cfg.Store.RediffVersions(ctx, key, from, to)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	resp.Mode = "rediff"
+	resp.Ops = len(res.Script)
+	switch output {
+	case "script":
+		resp.Script = res.Script
+	case "delta", "marked":
+		dt, err := ladiff.BuildDelta(res)
+		if err != nil {
+			s.met.Errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
+			return
+		}
+		if output == "delta" {
+			raw, err := marshalDelta(dt)
+			if err != nil {
+				s.met.Errors.Add(1)
+				writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
+				return
+			}
+			resp.Delta = raw
+		} else {
+			resp.Document = renderMarked(format, dt)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDocFeed serves the SSE change feed. Events are written as
+//
+//	event: change
+//	id: <version>
+//	data: {...store.Event JSON...}
+//
+// with ": keepalive" comments on an idle stream. The stream ends when
+// the client disconnects or the server drains (Shutdown closes every
+// subscription).
+func (s *Server) handleDocFeed(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	key := r.PathValue("key")
+	q := r.URL.Query()
+	since := 0
+	if v := q.Get("since"); v != "" {
+		var err error
+		if since, err = strconv.Atoi(v); err != nil {
+			s.met.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request", "since must be an integer")
+			return
+		}
+	}
+	if n := s.feeds.Add(1); n > int64(s.cfg.MaxFeeds) {
+		s.feeds.Add(-1)
+		s.met.RejectedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "feeds_exhausted",
+			fmt.Sprintf("at the limit of %d open feeds", s.cfg.MaxFeeds))
+		return
+	}
+	defer s.feeds.Add(-1)
+
+	sub, err := s.cfg.Store.Subscribe(key, store.SubscribeOptions{
+		Filter: q.Get("filter"),
+		Ignore: q["ignore"],
+		Since:  since,
+	})
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	defer sub.Close()
+
+	rc := http.NewResponseController(w)
+	// Feeds are idle-by-design; a server-wide write deadline must not
+	// reap them (unsupported controllers are fine — best effort).
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	hb := time.NewTicker(s.cfg.FeedHeartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				// Store closed the feeds: the server is draining.
+				return
+			}
+			// Chaos checkpoint for the streaming write path: an injected
+			// error terminates the stream like a broken connection would.
+			if err := fault.Check(fault.ServerWrite); err != nil {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Version, data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ladiff/internal/fault"
+	"ladiff/internal/gen"
+	"ladiff/internal/testleak"
+)
+
+// TestChaosIngestFaultStorm drives concurrent ingest across several
+// documents while the store's fault points fire randomly, then holds
+// the subsystem to its core invariant: an ingest either fails cleanly
+// or commits a version that forever checks out to the fingerprint the
+// caller was told — in memory and again after a log replay.
+func TestChaosIngestFaultStorm(t *testing.T) {
+	defer testleak.Check(t)()
+	path := filepath.Join(t.TempDir(), "chaos.log")
+	cfg := Config{CheckpointEvery: 3, FeedBuffer: 2}
+	s, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const docs, steps = 4, 10
+
+	// Build each document's version sources up front (the generator is
+	// not under test) and seed v1 before the faults arm, so feeds can
+	// attach.
+	chains := make([][]string, docs)
+	for d := 0; d < docs; d++ {
+		for _, doc := range versionChain(t, gen.Class{
+			Doc:  gen.DocParams{Seed: int64(100 + d), Sections: 2},
+			Pert: func(seed int64) gen.PerturbParams { return gen.Mix(seed, 5) },
+		}, steps-1) {
+			chains[d] = append(chains[d], doc.String())
+		}
+		if _, err := s.Ingest(ctx, key(d), "tree", chains[d][0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stalled subscriber per doc: fault-laden fanout must not block
+	// or leak either.
+	var subs []*Subscription
+	for d := 0; d < docs; d++ {
+		sub, err := s.Subscribe(key(d), SubscribeOptions{Filter: "**/sentence[changed]"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+
+	deactivate := fault.Activate(fault.Plan{Seed: 1996, Rules: []fault.Rule{
+		{Point: fault.StoreIngest, Mode: fault.ModeError, P: 0.2},
+		{Point: fault.StorePersist, Mode: fault.ModeError, P: 0.2},
+	}})
+
+	type committed struct {
+		version int
+		fp      string
+	}
+	results := make([][]committed, docs)
+	var wg sync.WaitGroup
+	for d := 0; d < docs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for _, src := range chains[d][1:] {
+				// Retry through injected faults: a failed ingest must
+				// leave the chain exactly as it was, so the retry lands
+				// as the next version with no gap.
+				for attempt := 0; attempt < 50; attempt++ {
+					res, err := s.Ingest(ctx, key(d), "tree", src)
+					if err == nil {
+						if res.Noop {
+							t.Errorf("doc %d: distinct content reported noop", d)
+						}
+						results[d] = append(results[d], committed{res.Version, res.Fingerprint})
+						break
+					}
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	deactivate()
+
+	verify := func(st *Store, when string) {
+		for d := 0; d < docs; d++ {
+			vers, err := st.Versions(key(d))
+			if err != nil {
+				t.Fatalf("%s: versions of doc %d: %v", when, d, err)
+			}
+			if len(vers) != len(results[d])+1 {
+				t.Fatalf("%s: doc %d has %d versions, callers saw %d commits",
+					when, d, len(vers), len(results[d])+1)
+			}
+			for _, c := range results[d] {
+				got, info, err := st.Checkout(ctx, key(d), c.version)
+				if err != nil {
+					t.Fatalf("%s: checkout doc %d v%d: %v", when, d, c.version, err)
+				}
+				if info.Fingerprint != c.fp {
+					t.Fatalf("%s: doc %d v%d recorded %s, caller was told %s",
+						when, d, c.version, info.Fingerprint, c.fp)
+				}
+				if got.Fingerprints().Root().String() != c.fp {
+					t.Fatalf("%s: doc %d v%d reconstruction does not hash to its fingerprint",
+						when, d, c.version)
+				}
+			}
+		}
+	}
+	verify(s, "in-memory")
+
+	s.CloseFeeds()
+	for _, sub := range subs {
+		for range sub.Events() {
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, cfg)
+	if err != nil {
+		t.Fatalf("reopen after fault storm: %v", err)
+	}
+	defer s2.Close()
+	verify(s2, "after-replay")
+}
+
+// TestChaosPersistAbortMidChain hammers one document with a high
+// persist-fault rate and checks the write-ahead discipline version by
+// version: every success extends the chain by exactly one, every
+// failure extends it by exactly zero.
+func TestChaosPersistAbortMidChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "abort.log")
+	s, err := Open(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, "k", "tree", "doc\n  p\n    s \"genesis content here\"\n"); err != nil {
+		t.Fatal(err)
+	}
+	deactivate := fault.Activate(fault.Plan{Seed: 7, Rules: []fault.Rule{
+		{Point: fault.StorePersist, Mode: fault.ModeError, P: 0.5},
+	}})
+	expect := 1
+	for i := 0; i < 40; i++ {
+		src := fmt.Sprintf("doc\n  p\n    s \"revision %d of the content\"\n", i)
+		_, err := s.Ingest(ctx, "k", "tree", src)
+		if err == nil {
+			expect++
+		}
+		vers, verr := s.Versions("k")
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		if len(vers) != expect {
+			t.Fatalf("after ingest %d (err=%v): %d versions, want %d", i, err, len(vers), expect)
+		}
+	}
+	deactivate()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	vers, err := s2.Versions("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != expect {
+		t.Fatalf("replay found %d versions, memory had %d", len(vers), expect)
+	}
+}
