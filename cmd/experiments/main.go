@@ -29,6 +29,7 @@ func main() {
 	hashOut := flag.String("hashout", "BENCH_hashing.json", "output path for the hashperf report")
 	qualityOut := flag.String("qualityout", "BENCH_quality.json", "output path for the qualityperf report")
 	storeOut := flag.String("storeout", "BENCH_store.json", "output path for the storeperf report")
+	routeOut := flag.String("routeout", "BENCH_routing.json", "output path for the routeperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
@@ -37,6 +38,7 @@ func main() {
 	hashPerfOutPath = *hashOut
 	qualityPerfOutPath = *qualityOut
 	storePerfOutPath = *storeOut
+	routePerfOutPath = *routeOut
 
 	all := []struct {
 		name string
@@ -57,6 +59,7 @@ func main() {
 		{"obsperf", runObsPerf},
 		{"hashperf", runHashPerf},
 		{"storeperf", runStorePerf},
+		{"routeperf", runRoutePerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -513,6 +516,50 @@ func runStorePerf() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", storePerfOutPath)
+	fmt.Println()
+	return nil
+}
+
+// routePerfOutPath is where runRoutePerf writes BENCH_routing.json.
+var routePerfOutPath = "BENCH_routing.json"
+
+// routePerfPairs/Requests/Window override the E16 workload sizes;
+// 0 means the defaults (16/600/200). The smoke test trims them.
+var (
+	routePerfPairs    = 0
+	routePerfRequests = 0
+	routePerfWindow   = 0
+)
+
+func runRoutePerf() error {
+	report, err := bench.CollectRoutePerf(routePerfPairs, routePerfRequests, routePerfWindow)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E16: routing tier — zipf replay across replicas, with a mid-replay kill ==")
+	fmt.Println("   (body-hash affinity keeps each replica's diff cache hot; the kill run")
+	fmt.Println("    ejects the hottest document's owner, restarts it cold, and measures")
+	fmt.Println("    how much cache locality the post-recovery window retains)")
+	var rows [][]string
+	for _, s := range report.Scenarios {
+		rows = append(rows, []string{
+			s.Name, fmt.Sprint(s.Replicas), fmt.Sprint(s.Requests), fmt.Sprint(s.Errors),
+			fmt.Sprintf("%.0f", s.ThroughputRPS),
+			fmt.Sprintf("%.2f", float64(s.P50US)/1e3),
+			fmt.Sprintf("%.2f", float64(s.P99US)/1e3),
+			fmt.Sprintf("%.0f%%", s.CacheHitRate*100),
+			fmt.Sprintf("%.0f%%", s.WindowHitRate*100),
+			fmt.Sprint(s.Failovers),
+			fmt.Sprint(s.RecoveryMS),
+		})
+	}
+	fmt.Print(bench.FormatTable(
+		[]string{"scenario", "replicas", "requests", "errors", "req/s", "p50 ms", "p99 ms", "hit rate", "window hits", "failovers", "recovery ms"}, rows))
+	fmt.Printf("retained hit ratio after kill+recovery: %.2f (target >= 0.90)\n", report.RetainedHitRatio)
+	if err := report.WriteRoutePerf(routePerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", routePerfOutPath)
 	fmt.Println()
 	return nil
 }

@@ -113,6 +113,21 @@ func TestRunStorePerf(t *testing.T) {
 	}
 }
 
+func TestRunRoutePerf(t *testing.T) {
+	routePerfOutPath = t.TempDir() + "/BENCH_routing.json"
+	routePerfPairs, routePerfRequests, routePerfWindow = 4, 45, 24
+	defer func() { routePerfPairs, routePerfRequests, routePerfWindow = 0, 0, 0 }()
+	out := capture(t, runRoutePerf)
+	for _, want := range []string{"replicas-1", "replicas-4-kill", "retained hit ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(routePerfOutPath); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+}
+
 func TestMainDispatch(t *testing.T) {
 	// Unknown experiment names must leave ran == 0; exercised through
 	// the want map logic indirectly by calling a known runner above.

@@ -1,8 +1,10 @@
 // Command ladiffd serves the LaDiff change-detection pipeline over
-// HTTP: POST /v1/diff and /v1/patch, GET /healthz and /metrics, with
-// pprof on a separate debug listener — plus, with -store, the versioned
-// document store under /v1/docs (ingest, checkout, version diffs, and
-// SSE change feeds; see DESIGN.md §14). It is the serving counterpart
+// HTTP: POST /v1/diff and /v1/patch, GET /healthz, /readyz and
+// /metrics, with pprof on a separate debug listener — plus, with
+// -store, the versioned document store under /v1/docs (ingest,
+// checkout, version diffs, and SSE change feeds; see DESIGN.md §14).
+// With -route it runs as a consistent-hash routing tier over a set of
+// replicas instead (see DESIGN.md §15). It is the serving counterpart
 // of the batch cmd/ladiff tool — see DESIGN.md §8 for the architecture.
 package main
 
@@ -16,12 +18,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ladiff"
 	"ladiff/internal/fault"
 	"ladiff/internal/obs"
+	"ladiff/internal/route"
 	"ladiff/internal/server"
 	"ladiff/internal/store"
 	"ladiff/internal/tree"
@@ -48,6 +52,9 @@ func main() {
 	storeFeedBuffer := flag.Int("store-feed-buffer", 0, "per-subscriber feed event buffer; a slower consumer drops events (0 = 16)")
 	storeMaxFeeds := flag.Int("store-max-feeds", 0, "max concurrently open feed subscriptions before 429 (0 = 256)")
 	storeHeartbeat := flag.Duration("store-heartbeat", 0, "SSE keepalive interval on idle feeds (0 = 15s)")
+	routeReplicas := flag.String("route", "", "comma-separated replica base URLs; serve as the consistent-hash routing tier over them instead of as a replica (see DESIGN.md §15)")
+	routeHedge := flag.Duration("hedge-after", 0, "routing tier: hedge idempotent non-streaming requests to the key's next replica after this delay (0 disables)")
+	routeProbe := flag.Duration("probe-interval", 0, "routing tier: per-replica /readyz probe interval (0 = 1s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	faultSpec := flag.String("fault", "", "arm fault injection: point:mode[:p=P][:delay=D][:bytes=N][,...][;seed=S] (chaos testing only)")
 	obsOn := flag.Bool("obs", true, "arm the observability layer: request traces, engine gauges, pprof labels")
@@ -71,6 +78,32 @@ func main() {
 		}
 		fault.Activate(plan)
 		logger.Warn("fault injection armed; this daemon will fail on purpose", "spec", *faultSpec)
+	}
+	if *routeReplicas != "" {
+		var reps []string
+		for _, u := range strings.Split(*routeReplicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(reps) == 0 {
+			logger.Error("-route needs at least one replica URL")
+			os.Exit(2)
+		}
+		rcfg := route.Config{
+			Replicas:      reps,
+			ProbeInterval: *routeProbe,
+			HedgeAfter:    *routeHedge,
+			MaxBodyBytes:  *maxBody,
+			Logger:        logger,
+		}
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		if err := serveRoute(*addr, rcfg, *drainTimeout, logger, stop, nil); err != nil {
+			logger.Error("ladiffd routing tier failed", "error", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var st *store.Store
 	if *storeOn || *storeLog != "" {
@@ -118,6 +151,54 @@ func main() {
 		logger.Error("ladiffd failed", "error", err)
 		os.Exit(1)
 	}
+}
+
+// serveRoute runs the routing tier until a signal arrives on stop,
+// then drains: /readyz flips to 503 so load balancers stop sending,
+// admitted requests (including open feed streams) finish within
+// drainTimeout, probers stop, and the listener closes. ready works as
+// in serve.
+func serveRoute(addr string, rcfg route.Config, drainTimeout time.Duration, logger *slog.Logger, stop <-chan os.Signal, ready chan<- string) error {
+	rt := route.New(rcfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service listener: %w", err)
+	}
+	hs := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	logger.Info("ladiffd routing tier listening", "addr", ln.Addr().String(), "replicas", len(rcfg.Replicas))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", fmt.Sprint(sig))
+	case err := <-errc:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the router first (refuse new work, wait out in-flight
+	// proxies, stop probers), then close the HTTP side.
+	if err := rt.Shutdown(ctx); err != nil {
+		logger.Warn("drain incomplete", "error", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
 }
 
 // serve runs the service until a signal arrives on stop, then drains

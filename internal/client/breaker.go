@@ -1,0 +1,106 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a consecutive-failure circuit breaker, the failure-fast
+// layer shared by the retrying Client (one breaker per server) and the
+// routing tier (one breaker per replica). After threshold consecutive
+// failed requests it opens: Allow fails fast with ErrCircuitOpen for a
+// cooldown period, then admits exactly one half-open probe at a time to
+// test recovery. A successful probe closes the breaker; a failed one
+// reopens it with a fresh cooldown.
+//
+// Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	// now is swapped out by tests so cooldowns can be asserted without
+	// real waiting.
+	now func() time.Time
+
+	mu       sync.Mutex
+	failures int       // consecutive failed requests
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker returns a Breaker that opens after threshold consecutive
+// failures and stays open for cooldown before allowing a half-open
+// probe. A negative threshold disables the breaker (Allow never fails).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow gates a new request on the circuit state. It returns
+// ErrCircuitOpen while open; in half-open state it admits exactly one
+// probe at a time. A caller that gets nil owns one request and must
+// call Report with its outcome.
+func (b *Breaker) Allow() error {
+	if b.threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return nil
+	}
+	if b.now().Sub(b.openedAt) < b.cooldown || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true // half-open: this request is the probe
+	return nil
+}
+
+// Report records the outcome of one allowed request.
+func (b *Breaker) Report(failed bool) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !failed {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openedAt = b.now()
+	}
+}
+
+// Reset closes the breaker and clears its failure count. Callers with
+// an out-of-band recovery signal (the routing tier's health prober
+// seeing a replica pass /readyz again) use it to skip the remaining
+// cooldown instead of waiting it out.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+}
+
+// Failures returns the current consecutive-failure count.
+func (b *Breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
+// Open reports whether the breaker is currently refusing requests (open
+// and still inside its cooldown, with no probe slot available).
+func (b *Breaker) Open() bool {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return false
+	}
+	return b.now().Sub(b.openedAt) < b.cooldown || b.probing
+}

@@ -90,6 +90,13 @@ type Config struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the computed backoff (before jitter). 0 means 5s.
 	MaxBackoff time.Duration
+	// RetryBudget caps the total time a request may spend across all
+	// attempts and backoff sleeps: once the budget would be exceeded by
+	// the next backoff, the client stops retrying and returns the last
+	// error instead of sleeping past it. The budget is context-aware —
+	// the caller's deadline still applies on top. 0 means no budget
+	// (retries are bounded by MaxRetries and the context alone).
+	RetryBudget time.Duration
 	// AttemptTimeout bounds each individual attempt, independent of the
 	// caller's overall context. 0 means 10s.
 	AttemptTimeout time.Duration
@@ -137,22 +144,28 @@ type Client struct {
 	sleep func(ctx context.Context, d time.Duration) error
 	now   func() time.Time
 
-	mu       sync.Mutex
-	rng      *rand.Rand // jitter source, guarded by mu
-	failures int        // consecutive failed requests
-	openedAt time.Time  // when the breaker last opened
-	probing  bool       // a half-open probe is in flight
+	// breaker is the consecutive-failure circuit (see Breaker); its
+	// clock is shared with now via New.
+	breaker *Breaker
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source, guarded by mu
 }
 
 // New returns a Client for the ladiffd instance at cfg.BaseURL.
 func New(cfg Config) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{
-		cfg:   cfg,
-		sleep: sleepCtx,
-		now:   time.Now,
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	c := &Client{
+		cfg:     cfg,
+		sleep:   sleepCtx,
+		now:     time.Now,
+		breaker: NewBreaker(cfg.Breaker, cfg.BreakerCooldown),
 	}
+	c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	// One clock: tests that freeze c.now freeze the breaker's cooldown
+	// arithmetic with it.
+	c.breaker.now = func() time.Time { return c.now() }
+	return c
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -185,64 +198,46 @@ func (c *Client) backoff(retry int, retryAfter time.Duration) time.Duration {
 	return d
 }
 
-// checkBreaker gates a new request on the circuit state. It returns
-// ErrCircuitOpen while open; in half-open state it admits exactly one
-// probe at a time.
-func (c *Client) checkBreaker() error {
-	if c.cfg.Breaker < 0 {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.failures < c.cfg.Breaker {
-		return nil
-	}
-	if c.now().Sub(c.openedAt) < c.cfg.BreakerCooldown || c.probing {
-		return ErrCircuitOpen
-	}
-	c.probing = true // half-open: this request is the probe
-	return nil
-}
+// checkBreaker gates a new request on the circuit state (see Breaker).
+func (c *Client) checkBreaker() error { return c.breaker.Allow() }
 
 // report records the outcome of a whole request (after retries) into
 // the breaker state.
-func (c *Client) report(failed bool) {
-	if c.cfg.Breaker < 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.probing = false
-	if !failed {
-		c.failures = 0
-		return
-	}
-	c.failures++
-	if c.failures >= c.cfg.Breaker {
-		c.openedAt = c.now()
-	}
-}
+func (c *Client) report(failed bool) { c.breaker.Report(failed) }
 
 // Failures returns the current consecutive-failure count (used by
 // tests and health displays).
-func (c *Client) Failures() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.failures
+func (c *Client) Failures() int { return c.breaker.Failures() }
+
+// retryAfter parses a Retry-After header, accepting both RFC 9110
+// forms: delta-seconds ("2") and an HTTP-date ("Wed, 21 Oct 2026
+// 07:28:00 GMT"). ladiffd itself sends delta-seconds, but the client
+// also talks to the routing tier and through intermediaries, which may
+// rewrite the header into the date form. A date in the past (or
+// unparseable junk) means no hint.
+func retryAfter(h http.Header) time.Duration {
+	return retryAfterAt(h, time.Now())
 }
 
-// retryAfter parses a Retry-After header (seconds form only; ladiffd
-// never sends the HTTP-date form).
-func retryAfter(h http.Header) time.Duration {
+// retryAfterAt is retryAfter against an explicit clock, so the
+// HTTP-date arithmetic is testable without real waiting.
+func retryAfterAt(h http.Header, now time.Time) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do POSTs body to path with the full retry/backoff/breaker treatment
@@ -270,6 +265,12 @@ func (c *Client) doMethod(ctx context.Context, method, path string, body, out an
 	// carries the same X-Request-Id, so server traces and access logs
 	// for the attempts correlate.
 	id := obs.NewRequestID()
+	// The retry-time budget is a wall-clock deadline over the whole
+	// logical request: attempts and backoff sleeps both draw from it.
+	var budgetEnd time.Time
+	if c.cfg.RetryBudget > 0 {
+		budgetEnd = c.now().Add(c.cfg.RetryBudget)
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		lastErr = c.attempt(ctx, method, path, id, payload, out)
@@ -291,7 +292,14 @@ func (c *Client) doMethod(ctx context.Context, method, path string, body, out an
 		if apiErr != nil {
 			ra = apiErr.retryAfter
 		}
-		if err := c.sleep(ctx, c.backoff(attempt, ra)); err != nil {
+		d := c.backoff(attempt, ra)
+		// A sleep that would overrun the budget is pointless: the next
+		// attempt could not start inside it. Stop retrying now and
+		// return the last real error rather than a budget artifact.
+		if !budgetEnd.IsZero() && c.now().Add(d).After(budgetEnd) {
+			break
+		}
+		if err := c.sleep(ctx, d); err != nil {
 			lastErr = err
 			break
 		}

@@ -236,6 +236,124 @@ func TestPerAttemptDeadline(t *testing.T) {
 	}
 }
 
+func TestRetryBudgetStopsBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	// Budget 150ms against a 100ms base backoff: the first retry's
+	// jittered sleep (50–100ms) fits, the second (100–200ms from base
+	// 200ms... at minimum 100ms on top of ≥50ms already spent) cannot,
+	// so the request stops after at most two sleeps despite MaxRetries
+	// allowing ten. The fake clock advances by exactly each sleep.
+	c, slept := newTestClient(t, srv, Config{MaxRetries: 10})
+	c.cfg.RetryBudget = 150 * time.Millisecond
+	now := time.Now()
+	c.now = func() time.Time { return now }
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		now = now.Add(d)
+		return ctx.Err()
+	}
+	_, err := c.Diff(context.Background(), DiffRequest{})
+	if err == nil {
+		t.Fatal("Diff succeeded, want failure")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Errorf("error %v does not wrap the final 503 (budget must not mask the real error)", err)
+	}
+	if got := calls.Load(); got >= 4 {
+		t.Errorf("server saw %d calls; the 150ms budget should stop the schedule well before MaxRetries=10", got)
+	}
+	var total time.Duration
+	for _, d := range *slept {
+		total += d
+	}
+	if total > 150*time.Millisecond {
+		t.Errorf("slept %v total, want <= 150ms budget", total)
+	}
+}
+
+func TestRetryBudgetZeroMeansUnbounded(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxRetries: 3})
+	if _, err := c.Diff(context.Background(), DiffRequest{}); err == nil {
+		t.Fatal("Diff succeeded, want failure")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d calls, want 4: no budget means MaxRetries bounds the schedule", got)
+	}
+}
+
+func TestRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		val  string
+		want time.Duration
+	}{
+		{"delta-seconds", "2", 2 * time.Second},
+		{"negative-delta", "-3", 0},
+		{"http-date-future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http-date-past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"absent", "", 0},
+	}
+	for _, tc := range cases {
+		if got := retryAfterAt(mk(tc.val), now); got != tc.want {
+			t.Errorf("%s: retryAfterAt(%q) = %v, want %v", tc.name, tc.val, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateDrivesBackoff pins the end-to-end path: a 429
+// whose Retry-After is an HTTP-date must stretch the backoff like the
+// delta-seconds form does.
+func TestRetryAfterHTTPDateDrivesBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"at capacity"}}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{})
+	if _, err := c.Diff(context.Background(), DiffRequest{}); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(*slept))
+	}
+	// The date was ~3s out; the hint dominates the ~100ms schedule.
+	// time.Until runs on the real clock between response and backoff, so
+	// accept a generous window.
+	if d := (*slept)[0]; d < 2*time.Second || d > 3*time.Second {
+		t.Errorf("backoff %v, want ≈3s from the HTTP-date Retry-After", d)
+	}
+}
+
 func TestContextCancellationStopsRetries(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

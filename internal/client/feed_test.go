@@ -170,6 +170,70 @@ func TestWatchFeedReconnectResumesSince(t *testing.T) {
 	}
 }
 
+// TestWatchFeedResumePastHead: failing over to a freshly restarted
+// replica leaves the client's resume cursor past the new server's head
+// (the replica's version chain restarted at 1). The watch must not
+// error or stall: the server answers with snapshot + catch-up, the
+// snapshot rewinds the cursor to the new chain, and subsequent resumes
+// carry the rewound version — so change events at "lower" version
+// numbers than the stale cursor still reach the handler.
+func TestWatchFeedResumePastHead(t *testing.T) {
+	var conns atomic.Int64
+	sinceSeen := make(chan string, 4)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		sinceSeen <- r.URL.Query().Get("since")
+		w.Header().Set("Content-Type", "text/event-stream")
+		send := func(ev store.Event) {
+			fmt.Fprintf(w, "event: %s\ndata: {\"type\":%q,\"key\":\"k\",\"version\":%d}\n\n",
+				ev.Type, ev.Type, ev.Version)
+			w.(http.Flusher).Flush()
+		}
+		// The fresh replica's head is v2 — far behind the caller's
+		// cursor from the old chain.
+		send(store.Event{Type: store.EventSnapshot, Version: 2})
+		send(store.Event{Type: store.EventCatchUp, Version: 2})
+		if n == 1 {
+			return // connection drops: the client must resume from v2, not 41
+		}
+		send(store.Event{Type: store.EventChange, Version: 3})
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{})
+	var events []FeedEvent
+	errDone := errors.New("done")
+	err := c.WatchFeed(context.Background(), "k", FeedOptions{Since: 41}, func(ev FeedEvent) error {
+		events = append(events, ev)
+		if ev.Type == store.EventChange {
+			return errDone
+		}
+		return nil
+	})
+	if !errors.Is(err, errDone) {
+		t.Fatalf("WatchFeed returned %v, want the handler's stop error", err)
+	}
+	if first := <-sinceSeen; first != "41" {
+		t.Errorf("first connection sent since=%q, want the stale cursor 41", first)
+	}
+	if second := <-sinceSeen; second != "2" {
+		t.Errorf("resume sent since=%q, want 2 (rewound by the snapshot)", second)
+	}
+	var sawCatchup bool
+	for _, ev := range events {
+		if ev.Type == store.EventCatchUp {
+			sawCatchup = true
+		}
+	}
+	if !sawCatchup {
+		t.Error("handler never saw the catch-up hint for the diverged cursor")
+	}
+	last := events[len(events)-1]
+	if last.Type != store.EventChange || last.Version != 3 {
+		t.Errorf("last event = %s v%d, want change v3 delivered after the rewind", last.Type, last.Version)
+	}
+}
+
 // TestWatchFeedRetriesTransientSubscribe: a 429 on subscribe is retried
 // after the server's Retry-After, and a successful connection resets
 // the backoff schedule.

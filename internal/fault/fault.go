@@ -43,6 +43,9 @@ const (
 	// Server I/O.
 	ServerRead  Point = "server.read"  // wraps request-body reads
 	ServerWrite Point = "server.write" // checked before response writes
+	// Routing tier.
+	RouteForward Point = "route.forward" // checked before each proxied attempt
+	RouteProbe   Point = "route.probe"   // checked before each replica health probe
 	// Version store.
 	StoreIngest  Point = "store.ingest"  // checked at Store.Ingest entry
 	StorePersist Point = "store.persist" // checked before each log append
@@ -52,6 +55,7 @@ const (
 var Points = []Point{
 	ParseLatex, ParseHTML, ParseText, ParseXML, ParseJSON, ParseTree,
 	Match, Generate, GenIndex, ServerRead, ServerWrite,
+	RouteForward, RouteProbe,
 	StoreIngest, StorePersist,
 }
 

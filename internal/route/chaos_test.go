@@ -1,0 +1,500 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladiff/internal/client"
+	"ladiff/internal/fault"
+	"ladiff/internal/server"
+	"ladiff/internal/store"
+	"ladiff/internal/testleak"
+)
+
+// chaosReplica is a replica that can be killed (listener and all
+// connections cut, store discarded) and restarted cold on the same
+// address — a fresh process with an empty store, the worst-case
+// failover target.
+type chaosReplica struct {
+	t    *testing.T
+	addr string
+
+	mu  sync.Mutex
+	srv *http.Server
+	st  *store.Store
+	sv  *server.Server
+	up  bool
+}
+
+func startChaosReplica(t *testing.T) *chaosReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &chaosReplica{t: t, addr: ln.Addr().String()}
+	r.serve(ln)
+	return r
+}
+
+func (r *chaosReplica) url() string { return "http://" + r.addr }
+
+func (r *chaosReplica) serve(ln net.Listener) {
+	st := store.New(store.Config{})
+	sv := server.New(server.Config{
+		Store:  st,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	srv := &http.Server{Handler: sv.Handler()}
+	r.mu.Lock()
+	r.srv, r.st, r.sv, r.up = srv, st, sv, true
+	r.mu.Unlock()
+	go srv.Serve(ln)
+}
+
+// kill cuts the replica down hard: listener closed, every open
+// connection (including feed streams) severed, store gone.
+func (r *chaosReplica) kill() {
+	r.mu.Lock()
+	srv, st := r.srv, r.st
+	r.up = false
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if st != nil {
+		st.Close()
+	}
+}
+
+// restart brings the replica back cold on its original address.
+func (r *chaosReplica) restart() {
+	r.t.Helper()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 200; i++ {
+		if ln, err = net.Listen("tcp", r.addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		r.t.Errorf("restart %s: %v", r.addr, err)
+		return
+	}
+	r.serve(ln)
+}
+
+func (r *chaosReplica) stop() {
+	r.mu.Lock()
+	up := r.up
+	r.mu.Unlock()
+	if up {
+		r.kill()
+	}
+}
+
+// TestChaosKillRestartStorm is the tentpole's proof: four replicas
+// behind the router, a kill/restart storm rolling through three of
+// them while a client workload and a feed subscriber keep running.
+// Afterwards:
+//
+//   - client-observed success stays at or above the 99% SLO with NO
+//     client-side retries (the router's failover is the only safety
+//     net in play);
+//   - the router's request accounting balances exactly: every request
+//     in precisely one outcome bucket, attempts matching the
+//     per-replica tallies;
+//   - the feed subscriber rode failover to a cold replica (resuming
+//     via since=/snapshot continuity) and still observed the final
+//     content;
+//   - draining the ring leaves no goroutine behind.
+func TestChaosKillRestartStorm(t *testing.T) {
+	defer testleak.Check(t)()
+
+	const nReplicas = 4
+	reps := make([]*chaosReplica, nReplicas)
+	var urls []string
+	for i := range reps {
+		reps[i] = startChaosReplica(t)
+		urls = append(urls, reps[i].url())
+	}
+	defer func() {
+		for _, r := range reps {
+			r.stop()
+		}
+	}()
+
+	rt := New(Config{
+		Replicas:        urls,
+		ProbeInterval:   20 * time.Millisecond,
+		Rise:            1,
+		Fall:            2,
+		Breaker:         2,
+		BreakerCooldown: 150 * time.Millisecond,
+		AttemptTimeout:  2 * time.Second,
+		Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+	}()
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	// The feed document's owner is storm victim #1, so the subscriber
+	// is guaranteed to live through a failover to a cold replica.
+	feedKey := keyOwnedBy(t, rt.ring, reps[0].url(), "feed-doc")
+
+	// ---- feed subscriber: WatchFeed in a resubscribe loop. WatchFeed
+	// itself rides transient errors; the loop covers the one definitive
+	// window chaos opens — a 404 from a cold successor that has not
+	// seen the document's first post-failover ingest yet.
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	var feedMu sync.Mutex
+	feedSeen := map[string]bool{} // fingerprints observed
+	feedSnapshots := 0
+	watcherDone := make(chan struct{})
+	feedClient := client.New(client.Config{BaseURL: router.URL, MaxRetries: 1, Breaker: -1})
+	go func() {
+		defer close(watcherDone)
+		for watchCtx.Err() == nil {
+			feedClient.WatchFeed(watchCtx, feedKey, client.FeedOptions{}, func(ev client.FeedEvent) error {
+				feedMu.Lock()
+				if ev.Fingerprint != "" {
+					feedSeen[ev.Fingerprint] = true
+				}
+				if ev.Type == store.EventSnapshot {
+					feedSnapshots++
+				}
+				feedMu.Unlock()
+				return nil
+			})
+			select {
+			case <-watchCtx.Done():
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+	}()
+	// Deferred (not only inline below) so a mid-test Fatal tears the
+	// subscriber's SSE chain down BEFORE the router's httptest server
+	// closes — Close waits on active connections, and an open feed
+	// would otherwise hang the unwind until the package timeout.
+	defer func() { watchCancel(); <-watcherDone }()
+
+	// ---- feed writer: new versions of the feed document throughout
+	// the storm (client-level retries on: the writer models a durable
+	// producer, the SLO is measured on the workload below).
+	writerClient := client.New(client.Config{
+		BaseURL: router.URL, MaxRetries: 3, BaseBackoff: 10 * time.Millisecond, Breaker: -1,
+	})
+	seed, err := writerClient.IngestDoc(context.Background(), feedKey, client.DocPutRequest{
+		Format: "text", Content: "Feed content revision 0 anchors the chain.",
+	})
+	if err != nil {
+		t.Fatalf("seed feed doc: %v", err)
+	}
+	feedMu.Lock()
+	feedSeen[seed.Fingerprint] = false // fingerprints we wrote start unobserved
+	feedMu.Unlock()
+	writerStop := make(chan struct{})
+	writerDone := make(chan struct{})
+	stopWriter := sync.OnceFunc(func() { close(writerStop); <-writerDone })
+	defer stopWriter()
+	var wrote []string
+	go func() {
+		defer close(writerDone)
+		for i := 1; ; i++ {
+			select {
+			case <-writerStop:
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+			res, err := writerClient.IngestDoc(context.Background(), feedKey, client.DocPutRequest{
+				Format:  "text",
+				Content: fmt.Sprintf("Feed content revision %d anchors the chain.", i),
+			})
+			if err == nil {
+				wrote = append(wrote, res.Fingerprint)
+			}
+		}
+	}()
+
+	// ---- SLO workload: 4 workers, no client retries, PUT + diff mix.
+	const workers, perWorker = 4, 120
+	var ok, total atomic.Int64
+	var wg sync.WaitGroup
+	loadCtx, loadCancel := context.WithCancel(context.Background())
+	defer func() { loadCancel(); wg.Wait() }()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				BaseURL: router.URL, MaxRetries: -1, Breaker: -1, AttemptTimeout: 3 * time.Second,
+			})
+			for i := 0; i < perWorker; i++ {
+				if loadCtx.Err() != nil {
+					return
+				}
+				total.Add(1)
+				var err error
+				if i%2 == 0 {
+					_, err = c.IngestDoc(loadCtx, fmt.Sprintf("load-%d-%d", w, i%10), client.DocPutRequest{
+						Format:  "text",
+						Content: fmt.Sprintf("Worker %d wrote revision %d of this page.", w, i),
+					})
+				} else {
+					_, err = c.Diff(loadCtx, client.DiffRequest{
+						Old:    fmt.Sprintf("The stable sentence stays put. Counter reads %d now.", i),
+						New:    fmt.Sprintf("The stable sentence stays put. Counter reads %d soon.", i),
+						Format: "text",
+					})
+				}
+				if err == nil {
+					ok.Add(1)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// ---- the storm: kill → dead window → cold restart → recovery
+	// window, rolling over three replicas (including the feed owner).
+	for cycle := 0; cycle < 3; cycle++ {
+		victim := reps[cycle%nReplicas]
+		victim.kill()
+		time.Sleep(150 * time.Millisecond)
+		victim.restart()
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	wg.Wait()
+	stopWriter()
+
+	// Settle: every replica probed back up, then a final write that the
+	// subscriber must observe through whatever subscription it holds now.
+	waitFor(t, "all replicas readmitted", func() bool {
+		for _, u := range urls {
+			if !rt.reps[u].Alive() {
+				return false
+			}
+		}
+		return true
+	})
+	final, err := writerClient.IngestDoc(context.Background(), feedKey, client.DocPutRequest{
+		Format: "text", Content: "Feed content final revision anchors the chain.",
+	})
+	if err != nil {
+		t.Fatalf("final feed write: %v", err)
+	}
+	waitFor(t, "subscriber observes the final revision", func() bool {
+		feedMu.Lock()
+		defer feedMu.Unlock()
+		return feedSeen[final.Fingerprint]
+	})
+	watchCancel()
+	<-watcherDone
+
+	// SLO: ≥99% client-observed success with zero client retries.
+	succ, tot := ok.Load(), total.Load()
+	if rate := float64(succ) / float64(tot); rate < 0.99 {
+		t.Errorf("success rate %.2f%% (%d/%d), SLO is 99%%", 100*rate, succ, tot)
+	} else {
+		t.Logf("storm success rate %.2f%% (%d/%d), failovers=%d", 100*rate, succ, tot, rt.Snapshot().Failovers)
+	}
+
+	// Exactly-once accounting: each request in one bucket, attempts
+	// matching the per-replica tallies.
+	snap := rt.Snapshot()
+	if snap.Requests != snap.Relayed+snap.NoReplica+snap.Failed+snap.RejectedDraining {
+		t.Errorf("request accounting broken: %+v", snap)
+	}
+	var repAttempts, repFailures int64
+	for _, rs := range snap.Replicas {
+		repAttempts += rs.Attempts
+		repFailures += rs.Failures
+	}
+	if snap.Attempts != repAttempts {
+		t.Errorf("attempts %d != per-replica sum %d", snap.Attempts, repAttempts)
+	}
+	if snap.Failovers == 0 || repFailures == 0 {
+		t.Errorf("storm produced no failovers (%d) or replica failures (%d) — the test exercised nothing",
+			snap.Failovers, repFailures)
+	}
+
+	// Feed continuity: the subscriber re-anchored at least once after
+	// its owner died (≥2 snapshots) and kept observing fresh content.
+	feedMu.Lock()
+	snaps := feedSnapshots
+	observed := 0
+	for _, fp := range wrote {
+		if feedSeen[fp] {
+			observed++
+		}
+	}
+	feedMu.Unlock()
+	if snaps < 2 {
+		t.Errorf("subscriber saw %d snapshots, want ≥2 (initial + post-failover re-anchor)", snaps)
+	}
+	if observed == 0 && len(wrote) > 0 {
+		t.Errorf("subscriber observed none of the %d mid-storm revisions", len(wrote))
+	}
+}
+
+// TestRouterFeedRehome pins the feed re-homing contract directly: a
+// subscriber whose owner dies fails over to the successor's stream;
+// when the owner is re-admitted and reclaims the key, the router must
+// SEVER the stream pinned to the now-stale successor — otherwise the
+// subscriber sits on a live connection that will never see another
+// write for the key (the starvation the kill/restart storm can only
+// hit probabilistically, when the successor happens to survive).
+func TestRouterFeedRehome(t *testing.T) {
+	defer testleak.Check(t)()
+
+	a, b := startChaosReplica(t), startChaosReplica(t)
+	defer a.stop()
+	defer b.stop()
+	rt := New(Config{
+		Replicas:       []string{a.url(), b.url()},
+		ProbeInterval:  10 * time.Millisecond,
+		Rise:           1,
+		Fall:           2,
+		Breaker:        -1, // probes alone drive membership: isolate re-homing
+		AttemptTimeout: 2 * time.Second,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+	}()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	key := keyOwnedBy(t, rt.ring, a.url(), "rehome")
+	writer := client.New(client.Config{
+		BaseURL: front.URL, MaxRetries: 3, BaseBackoff: 10 * time.Millisecond, Breaker: -1,
+	})
+	if _, err := writer.IngestDoc(context.Background(), key, client.DocPutRequest{
+		Format: "text", Content: "Revision one anchors the chain.",
+	}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	watcherDone := make(chan struct{})
+	sub := client.New(client.Config{BaseURL: front.URL, MaxRetries: 1, Breaker: -1})
+	go func() {
+		defer close(watcherDone)
+		for watchCtx.Err() == nil {
+			sub.WatchFeed(watchCtx, key, client.FeedOptions{}, func(ev client.FeedEvent) error {
+				if ev.Fingerprint != "" {
+					mu.Lock()
+					seen[ev.Fingerprint] = true
+					mu.Unlock()
+				}
+				return nil
+			})
+			select {
+			case <-watchCtx.Done():
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+	defer func() { watchCancel(); <-watcherDone }()
+
+	// Owner dies: writes and the subscriber's reconnect both fail over
+	// to b (the router retries idempotent requests on the successor even
+	// before the probes catch up).
+	a.kill()
+	rev2, err := writer.IngestDoc(context.Background(), key, client.DocPutRequest{
+		Format: "text", Content: "Revision two anchors the chain.",
+	})
+	if err != nil {
+		t.Fatalf("post-kill write: %v", err)
+	}
+	waitFor(t, "subscriber follows the failover to the successor", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen[rev2.Fingerprint]
+	})
+
+	// Owner returns cold and reclaims the key. The subscriber's stream
+	// is pinned to b, which will never see another write for this key —
+	// only the router's re-homing cut lets it land back on a.
+	a.restart()
+	waitFor(t, "owner re-admitted", func() bool { return rt.reps[a.url()].Alive() })
+	rev3, err := writer.IngestDoc(context.Background(), key, client.DocPutRequest{
+		Format: "text", Content: "Revision three anchors the chain.",
+	})
+	if err != nil {
+		t.Fatalf("post-recovery write: %v", err)
+	}
+	waitFor(t, "subscriber re-homed to the recovered owner", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen[rev3.Fingerprint]
+	})
+}
+
+// TestRouterFaultInjection wires the deterministic fault plan into the
+// proxy path: an armed route.forward point fails attempts exactly like
+// a dead upstream (failover, then 502 when every attempt is injected),
+// and an armed route.probe point ejects replicas through the ordinary
+// rise/fall machinery.
+func TestRouterFaultInjection(t *testing.T) {
+	_, ts := newReplicaServer(t)
+	rt := newTestRouter(t, Config{
+		Replicas:      []string{ts.URL},
+		ProbeInterval: 10 * time.Millisecond,
+		Breaker:       -1, // keep the breaker out of the way: isolate the injected faults
+	})
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	plan, err := fault.ParseSpec("route.forward:error;seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deactivate := fault.Activate(plan)
+	resp, err := http.Get(router.URL + "/v1/docs/k/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status %d under injected forward faults, want 502", resp.StatusCode)
+	}
+	if hits := fault.Hits()[fault.RouteForward]; hits < 1 {
+		t.Errorf("route.forward hits = %d, want ≥1", hits)
+	}
+	deactivate()
+
+	plan, err = fault.ParseSpec("route.probe:error;seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deactivate = fault.Activate(plan)
+	defer deactivate()
+	waitFor(t, "probe faults eject the replica", func() bool {
+		return !rt.reps[ts.URL].Healthy()
+	})
+}

@@ -1,0 +1,78 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRing fuzzes the two safety properties the routing tier stands
+// on, over arbitrary cluster sizes, dead-replica sets, and keys:
+//
+//  1. No key ever resolves to an ejected replica: the skip-the-dead
+//     walk down the failover chain lands on a live replica whenever
+//     one exists.
+//  2. Bounded movement: the live replica it lands on is exactly the
+//     owner in a ring built over the live replicas alone — i.e.
+//     ejecting replicas moves only the key ranges they owned, and
+//     every router (however its walk is interleaved with probes)
+//     agrees on the destination.
+func FuzzRing(f *testing.F) {
+	f.Add(uint8(4), uint8(0b0001), "doc:orders")
+	f.Add(uint8(1), uint8(0), "doc:a")
+	f.Add(uint8(6), uint8(0b0110), "body:9f3a")
+	f.Add(uint8(3), uint8(0b0111), "")
+	f.Add(uint8(8), uint8(0b10101010), "doc:key-with-\x00-bytes")
+	f.Fuzz(func(t *testing.T, nReplicas, deadMask uint8, key string) {
+		n := int(nReplicas%8) + 1
+		replicas := make([]string, n)
+		for i := range replicas {
+			replicas[i] = fmt.Sprintf("http://10.0.0.%d:8044", i+1)
+		}
+		dead := map[string]bool{}
+		var live []string
+		for i, u := range replicas {
+			if deadMask&(1<<uint(i)) != 0 {
+				dead[u] = true
+			} else {
+				live = append(live, u)
+			}
+		}
+
+		ring := NewRing(replicas, 16)
+		chain := ring.Successors(key)
+		if len(chain) != n {
+			t.Fatalf("chain %v misses replicas (n=%d)", chain, n)
+		}
+		seen := map[string]bool{}
+		for _, u := range chain {
+			if seen[u] {
+				t.Fatalf("chain repeats %q: %v", u, chain)
+			}
+			seen[u] = true
+		}
+
+		// The router's walk: first live replica in chain order.
+		target := ""
+		for _, u := range chain {
+			if !dead[u] {
+				target = u
+				break
+			}
+		}
+		if len(live) == 0 {
+			if target != "" {
+				t.Fatalf("all replicas dead but walk found %q", target)
+			}
+			return
+		}
+		if target == "" || dead[target] {
+			t.Fatalf("key %q resolved to ejected replica %q (dead=%b)", key, target, deadMask)
+		}
+		// Equivalence with true membership: same answer as a ring that
+		// never contained the dead replicas.
+		if want := NewRing(live, 16).Owner(key); target != want {
+			t.Fatalf("key %q: skip-walk -> %q, live-only ring -> %q (dead=%b n=%d)",
+				key, target, want, deadMask, n)
+		}
+	})
+}

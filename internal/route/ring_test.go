@@ -1,0 +1,133 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringReplicas(n int) []string {
+	reps := make([]string, n)
+	for i := range reps {
+		reps[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return reps
+}
+
+// TestRingOwnerDeterministic: ownership depends only on the replica
+// set, never on construction order.
+func TestRingOwnerDeterministic(t *testing.T) {
+	reps := ringReplicas(4)
+	a := NewRing(reps, 64)
+	b := NewRing([]string{reps[2], reps[0], reps[3], reps[1]}, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("doc:key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q (ordered) vs %q (shuffled)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingSuccessorsComplete: the failover chain visits every replica
+// exactly once, owner first.
+func TestRingSuccessorsComplete(t *testing.T) {
+	r := NewRing(ringReplicas(5), 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("doc:key-%d", i)
+		chain := r.Successors(key)
+		if len(chain) != 5 {
+			t.Fatalf("key %q: chain length %d, want 5", key, len(chain))
+		}
+		if chain[0] != r.Owner(key) {
+			t.Fatalf("key %q: chain starts at %q, owner is %q", key, chain[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, u := range chain {
+			if seen[u] {
+				t.Fatalf("key %q: chain repeats %q: %v", key, u, chain)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+// TestRingRebalancingBound pins the property the router's failover and
+// re-admission lean on: removing replica r moves exactly the keys r
+// owned (every other key keeps its owner), and the keys r owned land
+// on their chain's next replica. Re-admission is the same statement
+// read backwards, so bounded movement holds in both directions.
+func TestRingRebalancingBound(t *testing.T) {
+	reps := ringReplicas(4)
+	full := NewRing(reps, 64)
+	for _, gone := range reps {
+		var rest []string
+		for _, u := range reps {
+			if u != gone {
+				rest = append(rest, u)
+			}
+		}
+		shrunk := NewRing(rest, 64)
+		moved := 0
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("doc:key-%d", i)
+			was, now := full.Owner(key), shrunk.Owner(key)
+			if was != gone {
+				if now != was {
+					t.Fatalf("key %q not owned by removed %q moved %q -> %q", key, gone, was, now)
+				}
+				continue
+			}
+			moved++
+			// The displaced key lands on the next live replica in its
+			// original failover chain — the router's skip-the-dead walk
+			// agrees with true ring membership.
+			chain := full.Successors(key)
+			want := ""
+			for _, u := range chain {
+				if u != gone {
+					want = u
+					break
+				}
+			}
+			if now != want {
+				t.Fatalf("key %q owned by removed %q: new owner %q, chain successor %q", key, gone, now, want)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("replica %q owned no keys out of 2000 — distribution is broken", gone)
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes keep shares roughly even — with
+// 4 replicas nobody holds less than half or more than double its fair
+// share.
+func TestRingDistribution(t *testing.T) {
+	reps := ringReplicas(4)
+	r := NewRing(reps, 64)
+	counts := map[string]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("doc:key-%d", i))]++
+	}
+	for _, u := range reps {
+		share := float64(counts[u]) / n
+		if share < 0.125 || share > 0.5 {
+			t.Errorf("replica %s owns %.1f%% of keys, want within [12.5%%, 50%%]: %v", u, 100*share, counts)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: degenerate rings stay well-defined.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Owner("doc:k"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	if got := empty.Successors("doc:k"); got != nil {
+		t.Errorf("empty ring successors = %v, want nil", got)
+	}
+	one := NewRing([]string{"http://a"}, 8)
+	if got := one.Owner("doc:k"); got != "http://a" {
+		t.Errorf("single ring owner = %q", got)
+	}
+}

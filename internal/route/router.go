@@ -1,0 +1,827 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ladiff/internal/fault"
+)
+
+// Config tunes one Router. The zero value of every field has a default
+// applied by New; only Replicas is required.
+type Config struct {
+	// Replicas are the backend base URLs, e.g. "http://10.0.0.1:8044".
+	Replicas []string
+	// VNodes is the number of virtual nodes per replica on the hash
+	// ring. More vnodes smooth the key distribution and shrink the
+	// slices moved per membership change; 0 means 64.
+	VNodes int
+	// ProbeInterval is how often each replica's /readyz is probed.
+	// 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe. 0 means ProbeInterval (a probe
+	// slower than the interval is a failure by definition).
+	ProbeTimeout time.Duration
+	// Rise and Fall are the probe hysteresis: an ejected replica needs
+	// Rise consecutive passing probes to be re-admitted, a live one
+	// Fall consecutive failures to be ejected. 0 means 2 each.
+	Rise, Fall int
+	// Breaker is the consecutive proxied-request failures that trip a
+	// replica's circuit breaker; 0 means 3, negative disables.
+	Breaker int
+	// BreakerCooldown is how long a tripped breaker holds the replica
+	// out before a half-open trial request. 0 means 3s.
+	BreakerCooldown time.Duration
+	// AttemptTimeout bounds each proxied attempt (connect through body
+	// copy) for non-streaming requests. 0 means 10s. Feeds are exempt:
+	// an SSE stream is long-lived by design.
+	AttemptTimeout time.Duration
+	// HedgeAfter, when positive, arms hedged reads: if an idempotent
+	// non-streaming request has no answer after this long, a second
+	// copy is sent to the key's next live replica and the first
+	// response wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// MaxBodyBytes caps the buffered request body (bodies are buffered
+	// so a failover retry or hedge can replay them). 0 means 16 MiB.
+	MaxBodyBytes int64
+	// Transport is the upstream RoundTripper; nil means a dedicated
+	// http.Transport.
+	Transport http.RoundTripper
+	// Logger receives failover and health-transition logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.Rise <= 0 {
+		c.Rise = 2
+	}
+	if c.Fall <= 0 {
+		c.Fall = 2
+	}
+	if c.Breaker == 0 {
+		c.Breaker = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.Transport == nil {
+		c.Transport = &http.Transport{MaxIdleConnsPerHost: 32}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Router is the consistent-hash proxy tier. Construct with New, mount
+// Handler on a listener, and call Shutdown to drain. Safe for
+// concurrent use.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	reps   map[string]*replica
+	client *http.Client
+	met    metrics
+
+	mu       sync.RWMutex // guards draining; held (R) across inflight.Add
+	draining bool
+	inflight sync.WaitGroup
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+	stopOnce  sync.Once
+}
+
+// metrics is the router's exactly-once request accounting: every
+// proxied request lands in precisely one of relayed / noReplica /
+// failed / rejectedDraining, so requests always equals their sum — the
+// invariant the chaos test audits after the storm.
+type metrics struct {
+	requests         atomic.Int64 // proxied API requests admitted for routing
+	relayed          atomic.Int64 // a replica response was passed through (any status)
+	noReplica        atomic.Int64 // no live replica to try → 503 no_replicas
+	failed           atomic.Int64 // every attempt failed in transport → 502
+	rejectedDraining atomic.Int64 // refused because the router is draining
+
+	attempts       atomic.Int64 // proxied attempts across all replicas
+	failovers      atomic.Int64 // attempts re-sent to a ring successor
+	hedgesLaunched atomic.Int64
+	hedgesWon      atomic.Int64 // hedge returned before the primary
+}
+
+// Snapshot is the /metrics wire form.
+type Snapshot struct {
+	Requests         int64           `json:"requests_total"`
+	Relayed          int64           `json:"relayed_total"`
+	NoReplica        int64           `json:"no_replica_total"`
+	Failed           int64           `json:"failed_total"`
+	RejectedDraining int64           `json:"rejected_draining_total"`
+	Attempts         int64           `json:"attempts_total"`
+	Failovers        int64           `json:"failovers_total"`
+	HedgesLaunched   int64           `json:"hedges_launched_total"`
+	HedgesWon        int64           `json:"hedges_won_total"`
+	Replicas         []ReplicaStatus `json:"replicas"`
+}
+
+// ReplicaStatus is one replica's health view in the metrics snapshot.
+type ReplicaStatus struct {
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	BreakerOpen bool   `json:"breaker_open"`
+	Alive       bool   `json:"alive"`
+	Attempts    int64  `json:"attempts_total"`
+	Failures    int64  `json:"failures_total"`
+}
+
+// New builds a Router over cfg.Replicas and starts its health probers.
+func New(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:       cfg,
+		ring:      NewRing(cfg.Replicas, cfg.VNodes),
+		reps:      make(map[string]*replica, len(cfg.Replicas)),
+		client:    &http.Client{Transport: cfg.Transport},
+		probeStop: make(chan struct{}),
+	}
+	for _, u := range rt.ring.Replicas() {
+		if _, dup := rt.reps[u]; dup {
+			continue
+		}
+		rep := newReplica(u, cfg.Breaker, cfg.BreakerCooldown)
+		rt.reps[u] = rep
+		rt.probeWG.Add(1)
+		go rt.probeLoop(rep)
+	}
+	return rt
+}
+
+// Handler returns the router's HTTP surface: the full replica API
+// proxied by consistent hash, plus the router's own /healthz, /readyz
+// and /metrics.
+func (rt *Router) Handler() http.Handler { return http.HandlerFunc(rt.serveHTTP) }
+
+// Snapshot returns the current metrics.
+func (rt *Router) Snapshot() Snapshot {
+	snap := Snapshot{
+		Requests:         rt.met.requests.Load(),
+		Relayed:          rt.met.relayed.Load(),
+		NoReplica:        rt.met.noReplica.Load(),
+		Failed:           rt.met.failed.Load(),
+		RejectedDraining: rt.met.rejectedDraining.Load(),
+		Attempts:         rt.met.attempts.Load(),
+		Failovers:        rt.met.failovers.Load(),
+		HedgesLaunched:   rt.met.hedgesLaunched.Load(),
+		HedgesWon:        rt.met.hedgesWon.Load(),
+	}
+	urls := make([]string, 0, len(rt.reps))
+	for u := range rt.reps {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		rep := rt.reps[u]
+		snap.Replicas = append(snap.Replicas, ReplicaStatus{
+			URL:         u,
+			Healthy:     rep.Healthy(),
+			BreakerOpen: rep.breaker.Open(),
+			Alive:       rep.Alive(),
+			Attempts:    rep.attempts.Load(),
+			Failures:    rep.failures.Load(),
+		})
+	}
+	return snap
+}
+
+// BeginDrain flips the router into draining mode: /readyz starts
+// failing and new proxied requests are refused with 503, while
+// admitted ones (including open feed streams) run to completion.
+func (rt *Router) BeginDrain() {
+	rt.mu.Lock()
+	rt.draining = true
+	rt.mu.Unlock()
+}
+
+// Shutdown drains the router: it begins draining, stops the health
+// probers, severs proxied feed streams (their subscribers reconnect
+// through whatever fronts the ring next; the replicas' stores hold the
+// history), and waits for in-flight proxied requests to finish or ctx
+// to end. Idle upstream connections are closed on the way out.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.BeginDrain()
+	rt.stopOnce.Do(func() { close(rt.probeStop) })
+	rt.probeWG.Wait()
+	done := make(chan struct{})
+	go func() {
+		rt.inflight.Wait()
+		close(done)
+	}()
+	defer rt.client.CloseIdleConnections()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// writeError emits the API's error envelope, matching the replicas'
+// own shape so clients never see a second format.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, code, msg)
+}
+
+func (rt *Router) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok"}`)
+		return
+	case "/readyz":
+		rt.mu.RLock()
+		draining := rt.draining
+		rt.mu.RUnlock()
+		if draining {
+			writeError(w, http.StatusServiceUnavailable, "draining", "router is draining")
+			return
+		}
+		for _, rep := range rt.reps {
+			if rep.Alive() {
+				w.Header().Set("Content-Type", "application/json")
+				io.WriteString(w, `{"status":"ready"}`)
+				return
+			}
+		}
+		writeError(w, http.StatusServiceUnavailable, "no_replicas", "no live replica")
+		return
+	case "/metrics":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rt.Snapshot())
+		return
+	}
+
+	// Admission: the read lock spans the inflight Add so no admission
+	// can race Shutdown's Wait (same discipline as the server).
+	rt.mu.RLock()
+	if rt.draining {
+		rt.mu.RUnlock()
+		rt.met.rejectedDraining.Add(1)
+		rt.met.requests.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "router is draining")
+		return
+	}
+	rt.inflight.Add(1)
+	rt.mu.RUnlock()
+	defer rt.inflight.Done()
+	rt.met.requests.Add(1)
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		rt.met.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxBodyBytes {
+		rt.met.failed.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+		return
+	}
+
+	if r.Method == http.MethodGet && r.URL.Path == "/v1/docs" {
+		rt.proxyDocList(w, r)
+		return
+	}
+	rt.proxy(w, r, body)
+}
+
+// shardKey maps a request to its ring key. Document routes shard on
+// the document key, so every version, diff, and feed of one document
+// lands on one replica (its delta chain and cache locality live
+// there). The stateless diff/patch RPCs shard on a fingerprint of the
+// body: the same inputs return to the same replica, which is what
+// keeps its diff cache hot for repeated comparisons.
+func shardKey(r *http.Request, body []byte) string {
+	path := r.URL.Path
+	if rest, ok := strings.CutPrefix(path, "/v1/docs/"); ok {
+		key := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			key = rest[:i]
+		}
+		if dec, err := pathUnescape(key); err == nil {
+			key = dec
+		}
+		return "doc:" + key
+	}
+	return fmt.Sprintf("body:%x", hash64(string(body)))
+}
+
+// pathUnescape decodes one path segment; split out so shardKey stays
+// readable.
+func pathUnescape(s string) (string, error) {
+	if !strings.Contains(s, "%") {
+		return s, nil
+	}
+	return url.PathUnescape(s)
+}
+
+// idempotent reports whether the request may be replayed on another
+// replica after a transient failure. All reads are; so are the
+// stateless POST /v1/diff and /v1/patch RPCs (pure functions of the
+// body); and PUT /v1/docs/{key} (ingest of identical content is a
+// fingerprint no-op on the replica, so a duplicate delivery cannot
+// create a duplicate version).
+func idempotent(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead, http.MethodPut:
+		return true
+	case http.MethodPost:
+		return r.URL.Path == "/v1/diff" || r.URL.Path == "/v1/patch"
+	}
+	return false
+}
+
+// transientStatus reports whether an upstream status means "this
+// replica can't right now" (worth a failover) as opposed to a verdict
+// about the request. 429 is deliberately NOT transient here: it is the
+// replica's back-pressure signal, and spraying the same request at the
+// rest of the ring during overload converts local pressure into
+// cluster-wide pressure. It passes through with its Retry-After.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// attemptResult is one proxied attempt's outcome.
+type attemptResult struct {
+	rep    *replica
+	resp   *http.Response
+	err    error
+	cancel context.CancelFunc
+	hedge  bool
+	idx    int // launch slot, for the hedged path's cancel bookkeeping
+}
+
+// discard releases a result that will not be relayed.
+func (a attemptResult) discard() {
+	if a.resp != nil {
+		a.resp.Body.Close()
+	}
+	if a.cancel != nil {
+		a.cancel()
+	}
+}
+
+// failedTransiently reports whether the attempt should count against
+// the replica and trigger failover.
+func (a attemptResult) failedTransiently() bool {
+	if a.err != nil {
+		return true
+	}
+	return transientStatus(a.resp.StatusCode)
+}
+
+// proxy routes one buffered-body request: pick the key's live replica,
+// forward with a per-attempt deadline, fail over once to the ring
+// successor on transient failure (idempotent requests only), hedging
+// if configured.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte) {
+	key := shardKey(r, body)
+	// /v1/docs/{key}/feed and only it is an event stream ("/v1/docs/feed"
+	// is a checkout of a document named "feed").
+	sse := strings.HasPrefix(r.URL.Path, "/v1/docs/") &&
+		strings.HasSuffix(r.URL.Path, "/feed") &&
+		strings.Count(r.URL.Path, "/") >= 4
+	idem := idempotent(r)
+	maxAttempts := 1
+	if idem {
+		maxAttempts = 2 // one failover hop: bounded work under a storm
+	}
+
+	// The candidate chain: live replicas in the key's deterministic
+	// failover order. Liveness is re-checked at launch time (Allow
+	// owns a breaker slot), so this is a snapshot, not a reservation.
+	chain := rt.ring.Successors(key)
+
+	if rt.cfg.HedgeAfter > 0 && idem && !sse {
+		if rt.proxyHedged(w, r, body, chain) {
+			return
+		}
+		// No replica was even available to hedge against.
+		rt.met.noReplica.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "no_replicas", "no live replica for key")
+		return
+	}
+
+	var last attemptResult
+	attempts := 0
+	for _, u := range chain {
+		if attempts >= maxAttempts {
+			break
+		}
+		rep := rt.reps[u]
+		if !rep.Healthy() || rep.breaker.Allow() != nil {
+			continue
+		}
+		if attempts > 0 {
+			rt.met.failovers.Add(1)
+			last.discard()
+		}
+		attempts++
+		last = rt.attempt(r, rep, body, sse)
+		if !last.failedTransiently() {
+			rt.relay(w, last, sse, key)
+			return
+		}
+	}
+	if attempts == 0 {
+		rt.met.noReplica.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "no_replicas", "no live replica for key")
+		return
+	}
+	if last.resp != nil {
+		// Every live replica said 502/503/504: relay the last verdict
+		// (with any Retry-After) rather than inventing a new error.
+		rt.relay(w, last, sse, key)
+		return
+	}
+	last.cancel()
+	rt.met.failed.Add(1)
+	writeError(w, http.StatusBadGateway, "upstream_unreachable",
+		fmt.Sprintf("all attempts failed: %v", last.err))
+}
+
+// proxyHedged runs the hedged variant: launch the primary, arm a
+// timer, launch one backup to the key's next live replica if the
+// primary hasn't answered in time (a hedge) or has already failed (a
+// failover), first usable answer wins and the loser is canceled.
+// Every launched attempt's result is collected before returning, so
+// nothing leaks. Returns false if no replica could be tried at all.
+func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, body []byte, chain []string) bool {
+	// Pick up to two live candidates now; Allow is still called at
+	// launch so a breaker slot is only claimed for attempts that run.
+	var cands []*replica
+	for _, u := range chain {
+		if rep := rt.reps[u]; rep.Alive() {
+			cands = append(cands, rep)
+			if len(cands) == 2 {
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+
+	results := make(chan attemptResult, 2)
+	var cancels [2]context.CancelFunc
+	launched, next := 0, 0
+	launch := func(hedge bool) bool {
+		// Walk past candidates whose breaker shut since selection; each
+		// candidate is tried at most once.
+		for next < len(cands) {
+			rep := cands[next]
+			next++
+			if rep.breaker.Allow() != nil {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.AttemptTimeout)
+			i := launched
+			cancels[i] = cancel
+			launched++
+			go func() {
+				res := rt.attemptCtx(ctx, cancel, r, rep, body)
+				res.hedge, res.idx = hedge, i
+				results <- res
+			}()
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		return false
+	}
+
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	var winner, lastFail attemptResult
+	haveWinner, haveLastFail := false, false
+	for received := 0; received < launched; {
+		select {
+		case <-timer.C:
+			// Primary still in flight past the hedge threshold: race a
+			// second copy against it.
+			if !haveWinner && launch(true) {
+				rt.met.hedgesLaunched.Add(1)
+			}
+		case res := <-results:
+			received++
+			switch {
+			case !res.failedTransiently() && !haveWinner:
+				winner, haveWinner = res, true
+				for j, c := range cancels {
+					if c != nil && j != res.idx {
+						c() // the straggler's result still arrives below
+					}
+				}
+			case res.failedTransiently() && !haveWinner:
+				if haveLastFail {
+					lastFail.discard()
+				}
+				lastFail, haveLastFail = res, true
+				if received == launched {
+					// Nothing left in flight: fail over to the backup
+					// immediately instead of waiting out the timer.
+					if launch(false) {
+						rt.met.failovers.Add(1)
+					}
+				}
+			default:
+				res.discard() // a second answer after the winner
+			}
+		}
+	}
+	if haveWinner {
+		if haveLastFail {
+			lastFail.discard()
+		}
+		if winner.hedge {
+			rt.met.hedgesWon.Add(1)
+		}
+		rt.relay(w, winner, false, "")
+		return true
+	}
+	// Every attempt failed. Relay a replica verdict if one exists (it
+	// carries Retry-After and the replica's own error envelope).
+	if lastFail.resp != nil {
+		rt.relay(w, lastFail, false, "")
+		return true
+	}
+	lastFail.cancel()
+	rt.met.failed.Add(1)
+	writeError(w, http.StatusBadGateway, "upstream_unreachable",
+		fmt.Sprintf("all attempts failed: %v", lastFail.err))
+	return true
+}
+
+// attempt forwards one copy of the request to rep. Non-streaming
+// attempts run under the per-attempt deadline; feed attempts get a
+// plain cancel (the stream is long-lived). The caller owns the
+// returned response body and cancel func.
+func (rt *Router) attempt(r *http.Request, rep *replica, body []byte, sse bool) attemptResult {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if sse {
+		ctx, cancel = context.WithCancel(r.Context())
+	} else {
+		ctx, cancel = context.WithTimeout(r.Context(), rt.cfg.AttemptTimeout)
+	}
+	return rt.attemptCtx(ctx, cancel, r, rep, body)
+}
+
+// attemptCtx is attempt with the caller owning the context, so the
+// hedged path can cancel a straggler before its result arrives.
+func (rt *Router) attemptCtx(ctx context.Context, cancel context.CancelFunc, r *http.Request, rep *replica, body []byte) attemptResult {
+	rt.met.attempts.Add(1)
+	rep.attempts.Add(1)
+	res := attemptResult{rep: rep, cancel: cancel}
+	if err := fault.Check(fault.RouteForward); err != nil {
+		res.err = err
+	} else {
+		req, err := http.NewRequestWithContext(ctx, r.Method, rep.url+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			res.err = err
+		} else {
+			copyHeaders(req.Header, r.Header)
+			req.ContentLength = int64(len(body))
+			res.resp, res.err = rt.client.Do(req)
+		}
+	}
+	// Breaker accounting: a canceled attempt (hedge loser, caller gone)
+	// says nothing about the replica and never counts against it.
+	canceled := ctx.Err() == context.Canceled
+	failed := res.failedTransiently() && !canceled
+	rep.breaker.Report(failed)
+	if failed {
+		rep.failures.Add(1)
+	}
+	return res
+}
+
+// relay copies a replica response to the caller: headers (hop-by-hop
+// stripped), an X-Route-Replica marker, then the body — flushed per
+// write for event streams so feed events traverse the router without
+// buffering delay. Event streams additionally get a re-homing watch:
+// the stream is severed when its key stops routing to the pinned
+// replica (see rehomeWatch).
+func (rt *Router) relay(w http.ResponseWriter, res attemptResult, sse bool, key string) {
+	defer res.cancel()
+	defer res.resp.Body.Close()
+	copyHeaders(w.Header(), res.resp.Header)
+	w.Header().Set("X-Route-Replica", res.rep.url)
+	w.WriteHeader(res.resp.StatusCode)
+	rt.met.relayed.Add(1)
+	if sse {
+		stop := make(chan struct{})
+		defer close(stop)
+		go rt.rehomeWatch(key, res.rep.url, res.cancel, stop)
+		flushCopy(w, res.resp.Body)
+		return
+	}
+	io.Copy(w, res.resp.Body)
+}
+
+// rehomeWatch cuts a proxied feed stream loose when it no longer
+// belongs where it is pinned. Feeds pick their replica at connect
+// time; if the key's routing target moves — most importantly when a
+// re-admitted owner reclaims keys its failover successor was covering
+// — the pinned stream would starve silently, attached to a replica
+// that will never see another write for the key. Severing the upstream
+// turns that silence into a dropped stream, which the client's
+// reconnect-and-resume (client.WatchFeed) answers by re-subscribing
+// through the router and landing on the current owner. Shutdown cuts
+// streams the same way, so drain is bounded rather than waiting out
+// long-lived feeds.
+func (rt *Router) rehomeWatch(key, pinned string, cancel context.CancelFunc, stop <-chan struct{}) {
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-rt.probeStop:
+			cancel()
+			return
+		case <-ticker.C:
+			if rt.routeTarget(key) != pinned {
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// routeTarget is the replica key routes to right now: the first alive
+// replica in its failover chain, or "" when none is.
+func (rt *Router) routeTarget(key string) string {
+	for _, u := range rt.ring.Successors(key) {
+		if rt.reps[u].Alive() {
+			return u
+		}
+	}
+	return ""
+}
+
+// flushCopy streams src to w, flushing after every read so SSE events
+// reach the subscriber as they happen.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// hopByHop are connection-scoped headers that must not cross the proxy
+// (RFC 9110 §7.6.1).
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst[k] = append(dst[k], v)
+		}
+	}
+	for _, h := range hopByHop {
+		dst.Del(h)
+	}
+}
+
+// proxyDocList fans GET /v1/docs out to every live replica and merges.
+// After a failover window the same key can exist on two replicas (the
+// successor re-ingested while the owner was down); the merge keeps the
+// copy from the replica earliest in the key's failover chain — the one
+// reads are currently routed to — so the listing always agrees with
+// what GET /v1/docs/{key} would serve.
+func (rt *Router) proxyDocList(w http.ResponseWriter, r *http.Request) {
+	type docEntry struct {
+		raw     json.RawMessage
+		replica string
+	}
+	byKey := make(map[string][]docEntry)
+	asked, got := 0, 0
+	for u, rep := range rt.reps {
+		if !rep.Healthy() || rep.breaker.Allow() != nil {
+			continue
+		}
+		asked++
+		res := rt.attempt(r, rep, nil, false)
+		if res.failedTransiently() || res.resp.StatusCode != http.StatusOK {
+			res.discard()
+			continue
+		}
+		got++
+		var payload struct {
+			Docs []json.RawMessage `json:"docs"`
+		}
+		err := json.NewDecoder(res.resp.Body).Decode(&payload)
+		res.resp.Body.Close()
+		res.cancel()
+		if err != nil {
+			continue
+		}
+		for _, raw := range payload.Docs {
+			var meta struct {
+				Key string `json:"key"`
+			}
+			if json.Unmarshal(raw, &meta) != nil || meta.Key == "" {
+				continue
+			}
+			byKey[meta.Key] = append(byKey[meta.Key], docEntry{raw: raw, replica: u})
+		}
+	}
+	if asked == 0 {
+		rt.met.noReplica.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "no_replicas", "no live replica")
+		return
+	}
+	if got == 0 {
+		rt.met.failed.Add(1)
+		writeError(w, http.StatusBadGateway, "upstream_unreachable", "every replica failed the listing")
+		return
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	merged := make([]json.RawMessage, 0, len(keys))
+	for _, k := range keys {
+		entries := byKey[k]
+		pick := entries[0].raw
+		if len(entries) > 1 {
+			rank := make(map[string]int)
+			for i, u := range rt.ring.Successors("doc:" + k) {
+				rank[u] = i
+			}
+			best := rank[entries[0].replica]
+			for _, e := range entries[1:] {
+				if rank[e.replica] < best {
+					best = rank[e.replica]
+					pick = e.raw
+				}
+			}
+		}
+		merged = append(merged, pick)
+	}
+	rt.met.relayed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Docs []json.RawMessage `json:"docs"`
+	}{Docs: merged})
+}

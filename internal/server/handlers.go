@@ -595,7 +595,20 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It stays 200 even while draining — a draining server is still alive,
+// and flipping liveness during drain makes an orchestrator kill the
+// process before its in-flight requests complete. Routability is
+// /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether new traffic should be routed
+// here. It flips to 503 the moment BeginDrain is called — before the
+// in-flight drain completes — so load balancers and the routing tier
+// stop sending work while admitted requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
@@ -603,7 +616,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -196,6 +196,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /v1/docs/{key}/feed", s.handleDocFeed)
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.accessLog(s.observe(s.recoverPanics(mux)))
 }
@@ -311,9 +312,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(obs.SnapshotTraces())
 }
 
-// BeginDrain flips the server into draining mode: /healthz starts
+// BeginDrain flips the server into draining mode: /readyz starts
 // failing (so load balancers stop routing here) and new API requests
 // are refused with 503, while admitted requests run to completion.
+// /healthz stays 200 — the process is still alive and finishing work.
 func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true

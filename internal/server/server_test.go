@@ -421,7 +421,8 @@ func TestDeadlineExceeded(t *testing.T) {
 }
 
 // TestGracefulDrain pins shutdown: in-flight requests finish, new ones
-// are refused with 503, /healthz flips unhealthy, Shutdown returns
+// are refused with 503, /readyz flips not-ready (while /healthz stays
+// 200 — the process is alive, just not routable), Shutdown returns
 // once the last request drains, and no goroutine (handlers, drain
 // waiter, admission queue) outlives the server.
 func TestGracefulDrain(t *testing.T) {
@@ -445,8 +446,11 @@ func TestGracefulDrain(t *testing.T) {
 	shutdownDone := make(chan error, 1)
 	go func() { shutdownDone <- s.Shutdown(t.Context()) }()
 	waitFor(t, "server draining", func() bool {
-		return getJSON(t, ts, "/healthz", nil) == http.StatusServiceUnavailable
+		return getJSON(t, ts, "/readyz", nil) == http.StatusServiceUnavailable
 	})
+	if status := getJSON(t, ts, "/healthz", nil); status != http.StatusOK {
+		t.Errorf("/healthz during drain: status %d, want 200 (liveness is not readiness)", status)
+	}
 
 	// New work is refused while draining.
 	status, body, _ := postJSON(t, ts, "/v1/diff", req)
@@ -478,6 +482,54 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	if got := s.Metrics().RejectedDraining.Load(); got != 1 {
 		t.Errorf("rejected_draining_total = %d, want 1", got)
+	}
+}
+
+// TestReadyzDrainOrdering pins the exact sequence the routing tier
+// depends on: BeginDrain returns → /readyz is already 503 (not
+// eventually — the very next probe sees it) → the in-flight connection
+// is still running and completes afterwards. /healthz reports live at
+// every step. If readiness flipped only after in-flight work finished,
+// the router would keep sending new requests into a drain window.
+func TestReadyzDrainOrdering(t *testing.T) {
+	defer testleak.Check(t)()
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.testGate = make(chan struct{})
+	req := DiffRequest{Old: diffPairs["text"][0], New: diffPairs["text"][1], Format: "text"}
+
+	inflight := make(chan int, 1)
+	go func() {
+		status, _, _ := postJSON(t, ts, "/v1/diff", req)
+		inflight <- status
+	}()
+	waitFor(t, "request in flight", func() bool { return s.Metrics().InFlight.Load() == 1 })
+	if status := getJSON(t, ts, "/readyz", nil); status != http.StatusOK {
+		t.Fatalf("/readyz before drain: status %d, want 200", status)
+	}
+
+	// BeginDrain is synchronous: readiness must be gone the moment it
+	// returns, with the request still in flight.
+	s.BeginDrain()
+	if status := getJSON(t, ts, "/readyz", nil); status != http.StatusServiceUnavailable {
+		t.Errorf("/readyz immediately after BeginDrain: status %d, want 503", status)
+	}
+	if status := getJSON(t, ts, "/healthz", nil); status != http.StatusOK {
+		t.Errorf("/healthz immediately after BeginDrain: status %d, want 200", status)
+	}
+	if got := s.Metrics().InFlight.Load(); got != 1 {
+		t.Fatalf("in-flight count = %d after BeginDrain, want 1 (drain must not cut connections)", got)
+	}
+
+	// Only now does the admitted request complete — strictly after the
+	// readiness flip was observable.
+	close(s.testGate)
+	if status := <-inflight; status != http.StatusOK {
+		t.Errorf("in-flight request: status %d, want 200", status)
+	}
+	if err := s.Shutdown(t.Context()); err != nil {
+		t.Errorf("Shutdown: %v", err)
 	}
 }
 

@@ -255,7 +255,12 @@ func TestFeedDistinctIgnoreGroups(t *testing.T) {
 	}
 }
 
-// TestFeedSinceCatchup: the snapshot/catch-up preamble.
+// TestFeedSinceCatchup: the snapshot/catch-up preamble. A since ahead
+// of the head (9 > 3: the consumer's cursor came from a different
+// chain, e.g. after failover to a freshly restarted replica) is
+// divergence too — the subscriber gets the catch-up hint and the
+// snapshot re-anchors it, rather than erroring or silently pretending
+// the cursor is current.
 func TestFeedSinceCatchup(t *testing.T) {
 	s := New(Config{})
 	ctx := context.Background()
@@ -268,7 +273,7 @@ func TestFeedSinceCatchup(t *testing.T) {
 	for _, tc := range []struct {
 		since       int
 		wantCatchup bool
-	}{{0, false}, {1, true}, {2, true}, {3, false}, {9, false}} {
+	}{{0, false}, {1, true}, {2, true}, {3, false}, {9, true}} {
 		sub, err := s.Subscribe("k", SubscribeOptions{Since: tc.since})
 		if err != nil {
 			t.Fatal(err)
