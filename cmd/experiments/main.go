@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,qualityperf,matchperf,editperf,servperf,storeperf]
+//	experiments [-run fig13a,fig13b,table1,matchers,zs,editscript,ablation,quality,qualityperf,matchperf,editperf,servperf,storeperf,batchperf]
 //
 // With no -run flag every experiment runs. The output of a full run is
 // recorded in EXPERIMENTS.md alongside the paper's numbers.
@@ -30,6 +30,7 @@ func main() {
 	qualityOut := flag.String("qualityout", "BENCH_quality.json", "output path for the qualityperf report")
 	storeOut := flag.String("storeout", "BENCH_store.json", "output path for the storeperf report")
 	routeOut := flag.String("routeout", "BENCH_routing.json", "output path for the routeperf report")
+	batchOut := flag.String("batchout", "BENCH_batch.json", "output path for the batchperf report")
 	flag.Parse()
 	perfOutPath = *perfOut
 	editPerfOutPath = *editPerfOut
@@ -39,6 +40,7 @@ func main() {
 	qualityPerfOutPath = *qualityOut
 	storePerfOutPath = *storeOut
 	routePerfOutPath = *routeOut
+	batchPerfOutPath = *batchOut
 
 	all := []struct {
 		name string
@@ -60,6 +62,7 @@ func main() {
 		{"hashperf", runHashPerf},
 		{"storeperf", runStorePerf},
 		{"routeperf", runRoutePerf},
+		{"batchperf", runBatchPerf},
 	}
 	want := map[string]bool{}
 	if *runFlag != "" {
@@ -569,4 +572,44 @@ func maxI64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// batchPerfOutPath is where runBatchPerf writes BENCH_batch.json.
+var batchPerfOutPath = "BENCH_batch.json"
+
+// batchPerfPairs/batchPerfRounds shrink the harness in CI smoke tests.
+var (
+	batchPerfPairs  = 0
+	batchPerfRounds = 0
+)
+
+func runBatchPerf() error {
+	report, err := bench.CollectBatchPerf(batchPerfPairs, batchPerfRounds)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E17: batch + async-job APIs — batch-N vs N sequential tiny pairs ==")
+	fmt.Println("   (one POST /v1/diff/batch fans its items across the shared worker")
+	fmt.Println("    slots; the sequential leg replays the same pairs back-to-back on")
+	fmt.Println("    one connection — the client a batch API replaces)")
+	rows := [][]string{
+		{"sequential", fmt.Sprint(report.Pairs * report.Rounds),
+			fmt.Sprintf("%.2f", report.SequentialSeconds),
+			fmt.Sprintf("%.0f", report.SequentialPairsPerSec)},
+		{"batch", fmt.Sprint(report.Pairs * report.Rounds),
+			fmt.Sprintf("%.2f", report.BatchSeconds),
+			fmt.Sprintf("%.0f", report.BatchPairsPerSec)},
+	}
+	fmt.Print(bench.FormatTable([]string{"mode", "pairs", "seconds", "pairs/s"}, rows))
+	fmt.Printf("batch speedup over sequential: %.1fx (N = %d, gomaxprocs %d, target >= 2x)\n",
+		report.SpeedupX, report.Pairs, report.GoMaxProcs)
+	fmt.Printf("job submit p50/p95: %.2f/%.2f ms, submit->done p50/p95: %.2f/%.2f ms\n",
+		float64(report.JobSubmitP50US)/1e3, float64(report.JobSubmitP95US)/1e3,
+		float64(report.JobDoneP50US)/1e3, float64(report.JobDoneP95US)/1e3)
+	if err := report.WriteBatchPerf(batchPerfOutPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", batchPerfOutPath)
+	fmt.Println()
+	return nil
 }

@@ -128,6 +128,21 @@ func TestRunRoutePerf(t *testing.T) {
 	}
 }
 
+func TestRunBatchPerf(t *testing.T) {
+	batchPerfOutPath = t.TempDir() + "/BENCH_batch.json"
+	batchPerfPairs, batchPerfRounds = 8, 3
+	defer func() { batchPerfPairs, batchPerfRounds = 0, 0 }()
+	out := capture(t, runBatchPerf)
+	for _, want := range []string{"sequential", "batch speedup over sequential", "submit->done"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(batchPerfOutPath); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+}
+
 func TestMainDispatch(t *testing.T) {
 	// Unknown experiment names must leave ran == 0; exercised through
 	// the want map logic indirectly by calling a known runner above.

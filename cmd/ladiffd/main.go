@@ -1,5 +1,6 @@
 // Command ladiffd serves the LaDiff change-detection pipeline over
-// HTTP: POST /v1/diff and /v1/patch, GET /healthz, /readyz and
+// HTTP: POST /v1/diff, /v1/diff/batch and /v1/patch, async jobs under
+// /v1/jobs/diff, GET /healthz, /readyz and
 // /metrics, with pprof on a separate debug listener — plus, with
 // -store, the versioned document store under /v1/docs (ingest,
 // checkout, version diffs, and SSE change feeds; see DESIGN.md §14).
@@ -46,6 +47,10 @@ func main() {
 	engine := flag.String("engine", "", "matching engine for requests that don't name one: fast (default), simple, zs, or rted")
 	prune := flag.Bool("prune", false, "claim fingerprint-identical subtrees wholesale on every diff (per-request opt-in stays available without it)")
 	cacheEntries := flag.Int("cache", 0, "fingerprint-keyed diff cache capacity in entries (0 = disabled)")
+	maxBatchItems := flag.Int("max-batch-items", 0, "max items per /v1/diff/batch request (0 = 64)")
+	maxBatchBytes := flag.Int64("max-batch-bytes", 0, "max aggregate document bytes per batch (0 = max-body)")
+	maxJobs := flag.Int("max-jobs", 0, "max async jobs resident in the job store before 429 (0 = 256)")
+	jobTTL := flag.Duration("job-ttl", 0, "how long finished jobs stay pollable before expiry (0 = 5m)")
 	storeOn := flag.Bool("store", false, "enable the versioned document store (/v1/docs endpoints and change feeds)")
 	storeLog := flag.String("store-log", "", "append-only persistence log for the store; empty keeps versions in memory only (implies -store)")
 	storeCheckpoint := flag.Int("store-checkpoint", 0, "snapshot the store every N versions, bounding checkout replay (0 = 8; negative disables)")
@@ -139,6 +144,10 @@ func main() {
 		DefaultEngine:    *engine,
 		PruneIdentical:   *prune,
 		DiffCacheEntries: *cacheEntries,
+		MaxBatchItems:    *maxBatchItems,
+		MaxBatchBytes:    *maxBatchBytes,
+		MaxJobs:          *maxJobs,
+		JobTTL:           *jobTTL,
 		Store:            st,
 		FeedHeartbeat:    *storeHeartbeat,
 		MaxFeeds:         *storeMaxFeeds,

@@ -2,6 +2,9 @@ package client
 
 import (
 	"context"
+	"fmt"
+	"net/url"
+	"time"
 
 	"ladiff/internal/server"
 )
@@ -17,6 +20,18 @@ type (
 	PatchRequest = server.PatchRequest
 	// PatchResponse is the body of a successful POST /v1/patch.
 	PatchResponse = server.PatchResponse
+	// BatchDiffRequest is the body of POST /v1/diff/batch.
+	BatchDiffRequest = server.BatchDiffRequest
+	// BatchDiffItem is one pair in a batch request.
+	BatchDiffItem = server.BatchDiffItem
+	// BatchItemResult is one item's outcome within a batch response.
+	BatchItemResult = server.BatchItemResult
+	// BatchDiffResponse is the body of a successful POST /v1/diff/batch.
+	BatchDiffResponse = server.BatchDiffResponse
+	// JobSubmitRequest is the body of POST /v1/jobs/diff.
+	JobSubmitRequest = server.JobSubmitRequest
+	// JobStatus is the wire form of one async job.
+	JobStatus = server.JobStatus
 )
 
 // Diff computes the edit script between req.Old and req.New on the
@@ -38,4 +53,70 @@ func (c *Client) Patch(ctx context.Context, req PatchRequest) (*PatchResponse, e
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// BatchDiff runs many diff pairs in one round trip. The batch as a
+// whole is retried on transient failure; individual item failures come
+// back inline in the response (partial-failure semantics), not as an
+// error from this method.
+func (c *Client) BatchDiff(ctx context.Context, req BatchDiffRequest) (*BatchDiffResponse, error) {
+	var resp BatchDiffResponse
+	if err := c.do(ctx, "/v1/diff/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitJob enqueues an async diff job and returns its 202 status
+// (State "queued", carrying the job ID to poll).
+func (c *Client) SubmitJob(ctx context.Context, req JobSubmitRequest) (*JobStatus, error) {
+	var resp JobStatus
+	if err := c.do(ctx, "/v1/jobs/diff", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PollJob fetches one job's current status. A finished job that has
+// outlived the server's retention TTL polls as a 404 *APIError with
+// code "not_found".
+func (c *Client) PollJob(ctx context.Context, id string) (*JobStatus, error) {
+	var resp JobStatus
+	if err := c.doMethod(ctx, "GET", "/v1/jobs/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CancelJob cancels a job. Canceling an already-terminal job is a
+// no-op that reports the terminal state, so CancelJob is safe to retry.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var resp JobStatus
+	if err := c.doMethod(ctx, "DELETE", "/v1/jobs/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitJob polls a job every interval (0 means 100ms) until it reaches
+// a terminal state ("done", "failed", or "canceled") or ctx expires,
+// and returns the terminal status. A "failed" job is returned, not an
+// error: the failure envelope is in status.Error.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.PollJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case "done", "failed", "canceled":
+			return st, nil
+		}
+		if err := c.sleep(ctx, interval); err != nil {
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		}
+	}
 }

@@ -334,7 +334,7 @@ func (c *Client) attempt(ctx context.Context, method, path, id string, payload [
 	if err != nil {
 		return fmt.Errorf("reading response: %w", err)
 	}
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		apiErr := &APIError{Status: resp.StatusCode, retryAfter: retryAfter(resp.Header)}
 		var envelope struct {
 			Error struct {

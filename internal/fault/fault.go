@@ -49,6 +49,9 @@ const (
 	// Version store.
 	StoreIngest  Point = "store.ingest"  // checked at Store.Ingest entry
 	StorePersist Point = "store.persist" // checked before each log append
+	// Scheduling core.
+	SchedAcquire Point = "sched.acquire" // checked at Core.Acquire entry
+	JobPersist   Point = "job.persist"   // checked at JobStore.Submit entry
 )
 
 // Points lists every declared injection point, for spec validation.
@@ -57,6 +60,7 @@ var Points = []Point{
 	Match, Generate, GenIndex, ServerRead, ServerWrite,
 	RouteForward, RouteProbe,
 	StoreIngest, StorePersist,
+	SchedAcquire, JobPersist,
 }
 
 // Mode selects what an armed point does when its probability fires.

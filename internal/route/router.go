@@ -114,6 +114,9 @@ type Router struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// pins remembers which replica owns each async job (see jobs.go).
+	pins jobPins
+
 	probeStop chan struct{}
 	probeWG   sync.WaitGroup
 	stopOnce  sync.Once
@@ -316,8 +319,18 @@ func (rt *Router) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if r.Method == http.MethodGet && r.URL.Path == "/v1/docs" {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/docs":
 		rt.proxyDocList(w, r)
+		return
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/diff/batch":
+		rt.proxyBatch(w, r, body)
+		return
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs/diff":
+		rt.proxyJobSubmit(w, r, body)
+		return
+	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		rt.proxyJobByID(w, r, body)
 		return
 	}
 	rt.proxy(w, r, body)
@@ -364,7 +377,8 @@ func idempotent(r *http.Request) bool {
 	case http.MethodGet, http.MethodHead, http.MethodPut:
 		return true
 	case http.MethodPost:
-		return r.URL.Path == "/v1/diff" || r.URL.Path == "/v1/patch"
+		return r.URL.Path == "/v1/diff" || r.URL.Path == "/v1/patch" ||
+			r.URL.Path == "/v1/diff/batch"
 	}
 	return false
 }

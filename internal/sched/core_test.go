@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladiff/internal/fault"
+	"ladiff/internal/testleak"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	c := New(Config{Slots: 2, Queue: 1})
+	ctx := context.Background()
+	if err := c.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := c.Acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	c.Release()
+	if err := c.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	c.Release()
+	c.Release()
+}
+
+// TestQueueOverflow pins the load-shedding contract: with every slot
+// busy and the queue at capacity, the next Acquire fails immediately
+// with ErrQueueFull instead of waiting.
+func TestQueueOverflow(t *testing.T) {
+	defer testleak.Check(t)()
+	var gauge atomic.Int64
+	c := New(Config{Slots: 1, Queue: 1, QueuedGauge: &gauge})
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// One waiter fills the queue.
+	waiting := make(chan error, 1)
+	go func() { waiting <- c.Acquire(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for gauge.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued gauge never reached 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is full: the next acquire is shed.
+	if err := c.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire: got %v, want ErrQueueFull", err)
+	}
+	c.Release()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if got := gauge.Load(); got != 0 {
+		t.Fatalf("queued gauge after settle: %d, want 0", got)
+	}
+	c.Release()
+}
+
+func TestAcquireCanceledWhileQueued(t *testing.T) {
+	defer testleak.Check(t)()
+	c := New(Config{Slots: 1, Queue: 4})
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.Acquire(ctx) }()
+	for c.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: got %v, want context.Canceled", err)
+	}
+	if got := c.Queued(); got != 0 {
+		t.Fatalf("queued after cancel: %d, want 0", got)
+	}
+	c.Release()
+}
+
+func TestAcquireFaultInjection(t *testing.T) {
+	c := New(Config{Slots: 1, Queue: 1})
+	defer fault.Activate(fault.Plan{Rules: []fault.Rule{
+		{Point: fault.SchedAcquire, Mode: fault.ModeError},
+	}})()
+	err := c.Acquire(context.Background())
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("acquire under fault: got %v, want injected error", err)
+	}
+	// The injected failure must not consume a slot.
+	if got := len(c.slots); got != 0 {
+		t.Fatalf("slots held after injected failure: %d, want 0", got)
+	}
+}
+
+// TestBeginDrain pins the drain discipline: Begin refuses after
+// BeginDrain, and Drain waits for in-flight units.
+func TestBeginDrain(t *testing.T) {
+	defer testleak.Check(t)()
+	c := New(Config{Slots: 1, Queue: 1})
+	if !c.Begin() {
+		t.Fatal("Begin before drain refused")
+	}
+	c.BeginDrain()
+	if c.Begin() {
+		t.Fatal("Begin during drain accepted")
+	}
+	if !c.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- c.Drain(ctx)
+	}()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a unit in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.End()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestDrainDeadline(t *testing.T) {
+	c := New(Config{Slots: 1, Queue: 1})
+	if !c.Begin() {
+		t.Fatal("Begin refused")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := c.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck unit: got %v, want deadline exceeded", err)
+	}
+	c.End()
+}
+
+// TestConcurrentAdmission storms the core and pins that the slot bound
+// holds and every queued unit eventually runs or is shed coherently.
+func TestConcurrentAdmission(t *testing.T) {
+	defer testleak.Check(t)()
+	const slots, queue, n = 3, 4, 200
+	c := New(Config{Slots: slots, Queue: queue})
+	var running, peak, admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Acquire(context.Background()); err != nil {
+				if !errors.Is(err, ErrQueueFull) {
+					t.Errorf("acquire: %v", err)
+				}
+				shed.Add(1)
+				return
+			}
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			running.Add(-1)
+			admitted.Add(1)
+			c.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("concurrency peak %d exceeds %d slots", p, slots)
+	}
+	if a, s := admitted.Load(), shed.Load(); a+s != n {
+		t.Fatalf("accounting: admitted %d + shed %d != %d", a, s, n)
+	}
+	if got := c.Queued(); got != 0 {
+		t.Fatalf("queued after storm: %d, want 0", got)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	def, max := 5*time.Second, 30*time.Second
+	cases := []struct {
+		req, want time.Duration
+	}{
+		{0, def},
+		{-time.Second, def},
+		{time.Second, time.Second},
+		{time.Minute, max},
+	}
+	for _, c := range cases {
+		if got := Timeout(c.req, def, max); got != c.want {
+			t.Errorf("Timeout(%v) = %v, want %v", c.req, got, c.want)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(Config{Slots: 0}) did not panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,388 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ladiff/internal/fault"
+	"ladiff/internal/testleak"
+)
+
+func newTestStore(t *testing.T, core *Core, cfg JobConfig) *JobStore {
+	t.Helper()
+	s := NewJobStore(core, cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("job store shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func waitState(t *testing.T, s *JobStore, id string, want JobState) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := s.Get(id); ok && j.State == want {
+			return j
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j, ok := s.Get(id)
+	t.Fatalf("job %s never reached %s (now %v, known=%v)", id, want, j.State, ok)
+	return Job{}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 2, Queue: 4})
+	s := newTestStore(t, core, JobConfig{})
+	var hooked atomic.Int64
+	j, err := s.Submit(func(ctx context.Context) (any, error) {
+		return "result", nil
+	}, func(j Job) { hooked.Add(1) })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if j.State != JobQueued {
+		t.Fatalf("submit snapshot state %v, want queued", j.State)
+	}
+	done := waitState(t, s, j.ID, JobDone)
+	if done.Result != "result" || done.Err != nil {
+		t.Fatalf("done snapshot: result=%v err=%v", done.Result, done.Err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for hooked.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := hooked.Load(); got != 1 {
+		t.Fatalf("onTerminal fired %d times, want 1", got)
+	}
+	c := s.Counters()
+	if c.Submitted.Load() != 1 || c.Done.Load() != 1 || c.Queued.Load() != 0 || c.Running.Load() != 0 {
+		t.Fatalf("counters: submitted=%d done=%d queued=%d running=%d",
+			c.Submitted.Load(), c.Done.Load(), c.Queued.Load(), c.Running.Load())
+	}
+}
+
+func TestJobFailed(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 1})
+	s := newTestStore(t, core, JobConfig{})
+	boom := errors.New("boom")
+	j, err := s.Submit(func(ctx context.Context) (any, error) {
+		return "partial", boom
+	}, nil)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	failed := waitState(t, s, j.ID, JobFailed)
+	if !errors.Is(failed.Err, boom) || failed.Result != "partial" {
+		t.Fatalf("failed snapshot: result=%v err=%v", failed.Result, failed.Err)
+	}
+	if s.Counters().Failed.Load() != 1 {
+		t.Fatalf("failed counter: %d, want 1", s.Counters().Failed.Load())
+	}
+}
+
+// TestJobCancelQueued cancels a job that never got a slot: it must
+// terminalize as canceled without its runner body executing and without
+// firing the terminal hook.
+func TestJobCancelQueued(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 4})
+	s := newTestStore(t, core, JobConfig{})
+	// Occupy the only slot so the job parks in the queue.
+	if err := core.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	var ran, hooked atomic.Int64
+	j, err := s.Submit(func(ctx context.Context) (any, error) {
+		ran.Add(1)
+		return nil, nil
+	}, func(Job) { hooked.Add(1) })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap, ok := s.Cancel(j.ID)
+	if !ok || snap.State != JobCanceled {
+		t.Fatalf("cancel: ok=%v state=%v", ok, snap.State)
+	}
+	core.Release()
+	waitState(t, s, j.ID, JobCanceled)
+	// Idempotent: canceling a terminal job reports the state unchanged.
+	snap, ok = s.Cancel(j.ID)
+	if !ok || snap.State != JobCanceled {
+		t.Fatalf("re-cancel: ok=%v state=%v", ok, snap.State)
+	}
+	// Settle the runner goroutine, then check nothing ran or hooked.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("canceled-while-queued job still ran")
+	}
+	if hooked.Load() != 0 {
+		t.Fatal("canceled job fired its terminal hook")
+	}
+	if c := s.Counters(); c.Canceled.Load() != 1 {
+		t.Fatalf("canceled counter: %d, want 1", c.Canceled.Load())
+	}
+}
+
+// TestJobCancelRunning cancels a running job: the runner's context ends
+// and the job reads canceled, with no terminal hook.
+func TestJobCancelRunning(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 1})
+	s := newTestStore(t, core, JobConfig{})
+	started := make(chan struct{})
+	var hooked atomic.Int64
+	j, err := s.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, func(Job) { hooked.Add(1) })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	if snap, ok := s.Cancel(j.ID); !ok || snap.State != JobCanceled {
+		t.Fatalf("cancel: ok=%v state=%v", ok, snap.State)
+	}
+	waitState(t, s, j.ID, JobCanceled)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if hooked.Load() != 0 {
+		t.Fatal("canceled job fired its terminal hook")
+	}
+}
+
+func TestJobStoreCapacity(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 8})
+	s := newTestStore(t, core, JobConfig{Max: 2})
+	block := make(chan struct{})
+	defer close(block)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(func(ctx context.Context) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, nil
+		}, nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, nil); !errors.Is(err, ErrJobsFull) {
+		t.Fatalf("submit at capacity: got %v, want ErrJobsFull", err)
+	}
+	if got := s.Counters().Rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter: %d, want 1", got)
+	}
+}
+
+// TestJobTTLExpiry pins the retention contract: a terminal job is
+// readable until its TTL, then the sweep evicts it exactly once.
+func TestJobTTLExpiry(t *testing.T) {
+	defer testleak.Check(t)()
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	core := New(Config{Slots: 1, Queue: 1})
+	s := newTestStore(t, core, JobConfig{TTL: time.Minute, Clock: clock})
+	j, err := s.Submit(func(ctx context.Context) (any, error) { return 42, nil }, nil)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, s, j.ID, JobDone)
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, ok := s.Get(j.ID); ok {
+		t.Fatal("expired job still readable")
+	}
+	if got := s.Counters().Expired.Load(); got != 1 {
+		t.Fatalf("expired counter: %d, want 1", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store len after sweep: %d, want 0", s.Len())
+	}
+}
+
+func TestJobDelete(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 1})
+	s := newTestStore(t, core, JobConfig{})
+	j, err := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, nil)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, s, j.ID, JobDone)
+	if ok, err := s.Delete(j.ID); !ok || err != nil {
+		t.Fatalf("delete terminal: ok=%v err=%v", ok, err)
+	}
+	if _, ok := s.Get(j.ID); ok {
+		t.Fatal("deleted job still readable")
+	}
+	if ok, _ := s.Delete(j.ID); ok {
+		t.Fatal("second delete found the job")
+	}
+	if got := s.Counters().Deleted.Load(); got != 1 {
+		t.Fatalf("deleted counter: %d, want 1", got)
+	}
+}
+
+func TestJobSubmitFaultInjection(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 1})
+	s := newTestStore(t, core, JobConfig{})
+	defer fault.Activate(fault.Plan{Rules: []fault.Rule{
+		{Point: fault.JobPersist, Mode: fault.ModeError},
+	}})()
+	if _, err := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, nil); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("submit under fault: got %v, want injected", err)
+	}
+	c := s.Counters()
+	if c.Submitted.Load() != 0 || c.Rejected.Load() != 1 {
+		t.Fatalf("counters after injected persist failure: submitted=%d rejected=%d",
+			c.Submitted.Load(), c.Rejected.Load())
+	}
+	if s.Len() != 0 {
+		t.Fatal("rejected submission left a job behind")
+	}
+}
+
+// TestJobShutdownCancelsInFlight pins drain semantics: queued and
+// running jobs are canceled, runner goroutines exit, submissions after
+// shutdown are refused, and no terminal hook fires for the canceled.
+func TestJobShutdownCancelsInFlight(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 1, Queue: 8})
+	s := NewJobStore(core, JobConfig{})
+	var hooked atomic.Int64
+	started := make(chan struct{})
+	// First job runs and blocks on its context; the rest park queued.
+	ids := make([]string, 0, 4)
+	j, err := s.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, func(Job) { hooked.Add(1) })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ids = append(ids, j.ID)
+	<-started
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(func(ctx context.Context) (any, error) {
+			return nil, nil
+		}, func(Job) { hooked.Add(1) })
+		if err != nil {
+			t.Fatalf("submit queued %d: %v", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range ids {
+		if got, ok := s.Get(id); !ok || got.State != JobCanceled {
+			t.Fatalf("job %s after shutdown: ok=%v state=%v, want canceled", id, ok, got.State)
+		}
+	}
+	if hooked.Load() != 0 {
+		t.Fatalf("terminal hook fired %d times for canceled jobs", hooked.Load())
+	}
+	if _, err := s.Submit(func(ctx context.Context) (any, error) { return nil, nil }, nil); !errors.Is(err, ErrJobsClosed) {
+		t.Fatalf("submit after shutdown: got %v, want ErrJobsClosed", err)
+	}
+	c := s.Counters()
+	if c.Submitted.Load() != c.Done.Load()+c.Failed.Load()+c.Canceled.Load() {
+		t.Fatalf("drained accounting: submitted=%d done=%d failed=%d canceled=%d",
+			c.Submitted.Load(), c.Done.Load(), c.Failed.Load(), c.Canceled.Load())
+	}
+}
+
+// TestJobStormAccounting races many jobs, cancels, and completions and
+// pins the store invariant: every submitted job lands in exactly one
+// terminal counter, the gauges return to zero, and concurrent
+// cancel/complete races never fire a hook for a canceled job.
+func TestJobStormAccounting(t *testing.T) {
+	defer testleak.Check(t)()
+	core := New(Config{Slots: 4, Queue: 64})
+	s := NewJobStore(core, JobConfig{Max: 1024})
+	var hooks atomic.Int64
+	canceledIDs := sync.Map{}
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fail := i%5 == 0
+			j, err := s.Submit(func(ctx context.Context) (any, error) {
+				if fail {
+					return nil, fmt.Errorf("job %d failed", i)
+				}
+				return i, nil
+			}, func(Job) { hooks.Add(1) })
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if i%3 == 0 {
+				// Race a cancel against completion; whichever wins, the
+				// accounting must stay exactly-once.
+				if snap, ok := s.Cancel(j.ID); ok && snap.State == JobCanceled {
+					canceledIDs.Store(j.ID, true)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	c := s.Counters()
+	terminal := c.Done.Load() + c.Failed.Load() + c.Canceled.Load()
+	if c.Submitted.Load() != n || terminal != n {
+		t.Fatalf("accounting: submitted=%d done=%d failed=%d canceled=%d",
+			c.Submitted.Load(), c.Done.Load(), c.Failed.Load(), c.Canceled.Load())
+	}
+	if c.Queued.Load() != 0 || c.Running.Load() != 0 {
+		t.Fatalf("gauges after drain: queued=%d running=%d", c.Queued.Load(), c.Running.Load())
+	}
+	// Hooks fired exactly for the done+failed population: never for a
+	// job whose observable outcome was canceled.
+	if got, want := hooks.Load(), c.Done.Load()+c.Failed.Load(); got != want {
+		t.Fatalf("terminal hooks: %d, want %d (done+failed)", got, want)
+	}
+	canceledIDs.Range(func(k, _ any) bool {
+		if j, ok := s.Get(k.(string)); ok && j.State != JobCanceled {
+			t.Errorf("job %v observed canceled but ended %v", k, j.State)
+		}
+		return true
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"ladiff"
 	"ladiff/internal/fault"
 	"ladiff/internal/obs"
+	"ladiff/internal/sched"
 )
 
 // DiffRequest is the body of POST /v1/diff.
@@ -111,6 +112,19 @@ type errorDetail struct {
 	Message string `json:"message"`
 }
 
+// ItemError is the shared failure envelope of the scheduling core's
+// consumers: the code and message match what the single-request path
+// puts in its error envelope, and Status is the HTTP status the same
+// failure would have produced on /v1/diff — so a batch item or an async
+// job fails exactly like the equivalent single request.
+type ItemError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *ItemError) Error() string { return e.Code + ": " + e.Message }
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Chaos checkpoint for the response path: an injected error here
 	// turns into a 500, an injected panic is contained by recoverPanics.
@@ -131,19 +145,14 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: msg}})
 }
 
-// beginRequest registers the request as in-flight unless the server is
-// draining. Holding the read lock across the WaitGroup Add means no Add
-// can race with Shutdown's Wait: once BeginDrain's write lock is
-// granted, every later request sees draining and is refused.
-func (s *Server) beginRequest() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.draining {
-		return false
-	}
-	s.inflight.Add(1)
-	return true
-}
+// beginRequest registers the request as in-flight with the scheduling
+// core unless the server is draining; endRequest retires it. The core
+// holds its drain flag under a lock spanning the in-flight Add, so no
+// Add can race with Shutdown's Wait: once BeginDrain is granted, every
+// later request sees draining and is refused.
+func (s *Server) beginRequest() bool { return s.core.Begin() }
+
+func (s *Server) endRequest() { s.core.End() }
 
 // readJSON reads the (size-capped) body into a pooled buffer and
 // decodes it, writing the appropriate error response on failure.
@@ -171,56 +180,89 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool 
 	return true
 }
 
-// admit runs the admission controller and translates its failures to
-// HTTP. On success the caller owns one slot and must call
-// s.adm.release().
+// admit runs the scheduling core's admission and translates its
+// failures to HTTP. On success the caller owns one slot and must call
+// s.core.Release().
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
-	if err := s.adm.acquire(r.Context()); err != nil {
-		if errors.Is(err, errQueueFull) {
-			s.met.RejectedQueue.Add(1)
+	ierr := s.acquireSlot(r.Context())
+	if ierr != nil {
+		if ierr.Status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "queue_full",
-				"server at capacity; retry after backoff")
-		} else {
-			// The client went away while queued; the response is moot.
-			writeError(w, http.StatusServiceUnavailable, "cancelled",
-				"request cancelled while queued")
 		}
+		writeError(w, ierr.Status, ierr.Code, ierr.Message)
 		return false
 	}
 	return true
 }
 
+// acquireSlot takes one execution slot from the scheduling core,
+// mapping failures to the per-item error envelope (the single-request
+// path writes it via admit; batch items embed it). Metric accounting
+// happens here so a batch item's rejection counts exactly like a
+// single request's.
+func (s *Server) acquireSlot(ctx context.Context) *ItemError {
+	err := s.core.Acquire(ctx)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, sched.ErrQueueFull):
+		s.met.RejectedQueue.Add(1)
+		return &ItemError{Status: http.StatusTooManyRequests, Code: "queue_full",
+			Message: "server at capacity; retry after backoff"}
+	case errors.Is(err, fault.ErrInjected):
+		// A chaos-injected admission failure is a server-side error, not
+		// a client cancellation; it must land in the error counter so
+		// exactly-once accounting holds through a fault storm.
+		s.met.Errors.Add(1)
+		return &ItemError{Status: http.StatusInternalServerError, Code: "internal",
+			Message: "admission failed: " + err.Error()}
+	default:
+		// The client went away while queued; the response is moot.
+		return &ItemError{Status: http.StatusServiceUnavailable, Code: "cancelled",
+			Message: "request cancelled while queued"}
+	}
+}
+
 // timeout resolves a request's deadline from its TimeoutMs field and
 // the server's default/maximum.
 func (s *Server) timeout(ms int) time.Duration {
-	d := s.cfg.DefaultTimeout
-	if ms > 0 {
-		d = time.Duration(ms) * time.Millisecond
-	}
-	if d > s.cfg.MaxTimeout {
-		d = s.cfg.MaxTimeout
-	}
-	return d
+	return sched.Timeout(time.Duration(ms)*time.Millisecond, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 }
 
-// failPipeline writes the response for a mid-pipeline error, mapped
-// through the error taxonomy: 504 for cancellation/deadline, 503 for a
-// work budget exhausted with no fallback left, 500 for internal errors
-// and anything unclassified.
-func (s *Server) failPipeline(w http.ResponseWriter, err error) {
+// pipelineError maps a mid-pipeline error through the error taxonomy
+// to the shared failure envelope: 504 for cancellation/deadline, 503
+// for a work budget exhausted with no fallback left, 500 for internal
+// errors and anything unclassified. Metric accounting happens here so
+// every consumer (single diff, batch item, async job) counts failures
+// identically.
+func (s *Server) pipelineError(err error) *ItemError {
 	switch ladiff.ErrorKind(err) {
 	case ladiff.ErrCanceled:
 		s.met.Timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+		return &ItemError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded", Message: err.Error()}
 	case ladiff.ErrDegraded:
 		s.met.Errors.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "over_budget", err.Error())
+		return &ItemError{Status: http.StatusServiceUnavailable, Code: "over_budget", Message: err.Error()}
 	default:
 		s.met.Errors.Add(1)
-		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return &ItemError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 	}
+}
+
+// failPipeline writes the response for a mid-pipeline error.
+func (s *Server) failPipeline(w http.ResponseWriter, err error) {
+	s.writeItemError(w, s.pipelineError(err))
+}
+
+// writeItemError writes one failure envelope as a whole-request error
+// response, preserving the single-request wire contract (Retry-After
+// on 503 over_budget and 429 queue_full).
+func (s *Server) writeItemError(w http.ResponseWriter, ierr *ItemError) {
+	if ierr.Status == http.StatusServiceUnavailable && ierr.Code == "over_budget" ||
+		ierr.Status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, ierr.Status, ierr.Code, ierr.Message)
 }
 
 // parseLimits is the per-document limit set every parse runs under:
@@ -233,21 +275,29 @@ func (s *Server) parseLimits() ladiff.ParseLimits {
 	}
 }
 
-// parseChecked parses one document under the server limits, writing the
-// appropriate error response on failure: 413 for a violated limit
-// (streaming enforcement — the parse stops at the limit), 400 for a
-// syntax error.
-func (s *Server) parseChecked(w http.ResponseWriter, which, format, src string) (*ladiff.Tree, bool) {
+// parseItem parses one document under the server limits, mapping
+// failures to the shared envelope: 413 for a violated limit (streaming
+// enforcement — the parse stops at the limit), 400 for a syntax error.
+func (s *Server) parseItem(which, format, src string) (*ladiff.Tree, *ItemError) {
 	t, err := parseDoc(format, src, s.parseLimits())
 	if err != nil {
 		if errors.Is(err, ladiff.ErrLimit) {
 			s.met.RejectedSize.Add(1)
-			writeError(w, http.StatusRequestEntityTooLarge, "tree_too_large",
-				fmt.Sprintf("%s document: %s", which, err.Error()))
-			return nil, false
+			return nil, &ItemError{Status: http.StatusRequestEntityTooLarge, Code: "tree_too_large",
+				Message: fmt.Sprintf("%s document: %s", which, err.Error())}
 		}
 		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "parse_error", which+" document: "+err.Error())
+		return nil, &ItemError{Status: http.StatusBadRequest, Code: "parse_error",
+			Message: which + " document: " + err.Error()}
+	}
+	return t, nil
+}
+
+// parseChecked is parseItem writing the failure as the whole response.
+func (s *Server) parseChecked(w http.ResponseWriter, which, format, src string) (*ladiff.Tree, bool) {
+	t, ierr := s.parseItem(which, format, src)
+	if ierr != nil {
+		writeError(w, ierr.Status, ierr.Code, ierr.Message)
 		return nil, false
 	}
 	return t, true
@@ -262,24 +312,26 @@ func (s *Server) matcherFor(name string) (ladiff.Matcher, bool) {
 	return ladiff.MatcherByName(name)
 }
 
-func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	s.met.Requests.Add(1)
-	if !s.beginRequest() {
-		s.met.RejectedDraining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
-		return
-	}
-	defer s.inflight.Done()
+// diffPlan is a validated diff request, ready for execution: the
+// request plus its resolved output and matching engine. planDiff builds
+// it before admission (validation must not consume a worker slot);
+// executeDiff runs it after.
+type diffPlan struct {
+	req     DiffRequest
+	output  string
+	matcher ladiff.Matcher
+}
 
-	var req DiffRequest
-	if !s.readJSON(w, r, &req) {
-		return
-	}
+// planDiff validates one diff request and resolves its defaults,
+// without taking a slot. Every consumer of the pipeline — /v1/diff,
+// batch items, async jobs — goes through this one function, so a batch
+// item or job is rejected with exactly the envelope the single-request
+// path would produce.
+func (s *Server) planDiff(req DiffRequest) (diffPlan, *ItemError) {
 	if !validFormat(req.Format) {
 		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown format %q (want one of %v)", req.Format, Formats))
-		return
+		return diffPlan{}, &ItemError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("unknown format %q (want one of %v)", req.Format, Formats)}
 	}
 	output := req.Output
 	if output == "" {
@@ -287,22 +339,41 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	if !validOutput(output) {
 		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown output %q (want one of %v)", output, Outputs))
-		return
+		return diffPlan{}, &ItemError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("unknown output %q (want one of %v)", output, Outputs)}
 	}
 	matcher, ok := s.matcherFor(req.Matcher)
 	if !ok {
 		s.met.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown matcher %q (want one of %v)", req.Matcher, ladiff.EngineNames()))
+		return diffPlan{}, &ItemError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("unknown matcher %q (want one of %v)", req.Matcher, ladiff.EngineNames())}
+	}
+	return diffPlan{req: req, output: output, matcher: matcher}, nil
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.met.Requests.Add(1)
+	if !s.beginRequest() {
+		s.met.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	defer s.endRequest()
+
+	var req DiffRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	plan, ierr := s.planDiff(req)
+	if ierr != nil {
+		s.writeItemError(w, ierr)
 		return
 	}
 
 	if !s.admit(w, r) {
 		return
 	}
-	defer s.adm.release()
+	defer s.core.Release()
 	// The deadline starts ticking at admission, before the test gate, so
 	// a gated request's context provably expires while the gate is held.
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
@@ -311,6 +382,21 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	defer s.met.InFlight.Add(-1)
 	s.waitTestGate()
 
+	resp, ierr := s.executeDiff(ctx, plan)
+	if ierr != nil {
+		s.writeItemError(w, ierr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeDiff runs the validated plan through the full pipeline —
+// parse, cache lookup, match, generate, render — and returns either the
+// response or the shared failure envelope. The caller must already hold
+// a worker slot; metric accounting (phase latencies, node volumes,
+// diffs/degraded counters) happens here, identically for every consumer.
+func (s *Server) executeDiff(ctx context.Context, plan diffPlan) (*DiffResponse, *ItemError) {
+	req, output, matcher := plan.req, plan.output, plan.matcher
 	start := time.Now()
 	phaseMicros := make(map[string]int64, numPhases)
 	observe := func(p Phase, d time.Duration) {
@@ -324,17 +410,17 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	_, psp := obs.StartSpan(ctx, "parse")
 	psp.Str("format", req.Format)
-	oldT, ok := s.parseChecked(w, "old", req.Format, req.Old)
-	if !ok {
+	oldT, perr := s.parseItem("old", req.Format, req.Old)
+	if perr != nil {
 		psp.Str("error", "old document failed to parse")
 		psp.End()
-		return
+		return nil, perr
 	}
-	newT, ok := s.parseChecked(w, "new", req.Format, req.New)
-	if !ok {
+	newT, perr := s.parseItem("new", req.Format, req.New)
+	if perr != nil {
 		psp.Str("error", "new document failed to parse")
 		psp.End()
-		return
+		return nil, perr
 	}
 	psp.Int("old_nodes", int64(oldT.Len()))
 	psp.Int("new_nodes", int64(newT.Len()))
@@ -370,8 +456,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			hit.Cached = true
 			s.met.Diffs.Add(1)
 			s.met.RequestLatency.Observe(time.Since(start))
-			writeJSON(w, http.StatusOK, hit)
-			return
+			return &hit, nil
 		}
 		csp.Str("result", "miss")
 		csp.End()
@@ -407,8 +492,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			PruneIdentical:    prune,
 		})
 		if err != nil {
-			s.failPipeline(w, err)
-			return
+			return nil, s.pipelineError(err)
 		}
 		m, degradedReasons = mm, reasons
 		observe(PhaseMatch, time.Since(t0))
@@ -418,8 +502,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		t0 = time.Now()
 		res, err = ladiff.ComputeEditScriptWith(oldT, newT, m, ladiff.GenOptions{Ctx: ctx})
 		if err != nil {
-			s.failPipeline(w, err)
-			return
+			return nil, s.pipelineError(err)
 		}
 		observe(PhaseGenerate, time.Since(t0))
 	}
@@ -441,8 +524,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			s.met.Errors.Add(1)
 			rsp.Str("error", "delta: "+err.Error())
 			rsp.End()
-			writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
-			return
+			return nil, &ItemError{Status: http.StatusInternalServerError, Code: "internal",
+				Message: "delta: " + err.Error()}
 		}
 		if output == "delta" {
 			raw, err := marshalDelta(dt)
@@ -450,8 +533,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 				s.met.Errors.Add(1)
 				rsp.Str("error", "delta: "+err.Error())
 				rsp.End()
-				writeError(w, http.StatusInternalServerError, "internal", "delta: "+err.Error())
-				return
+				return nil, &ItemError{Status: http.StatusInternalServerError, Code: "internal",
+					Message: "delta: " + err.Error()}
 			}
 			resp.Delta = raw
 		} else {
@@ -483,7 +566,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.Diffs.Add(1)
 	s.met.RequestLatency.Observe(time.Since(start))
-	writeJSON(w, http.StatusOK, resp)
+	return &resp, nil
 }
 
 func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
@@ -493,7 +576,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	var req PatchRequest
 	if !s.readJSON(w, r, &req) {
@@ -509,7 +592,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r) {
 		return
 	}
-	defer s.adm.release()
+	defer s.core.Release()
 	// The deadline starts ticking at admission, before the test gate, so
 	// a gated request's context provably expires while the gate is held.
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
@@ -609,10 +692,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // in-flight drain completes — so load balancers and the routing tier
 // stop sending work while admitted requests finish.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	draining := s.draining
-	s.mu.RUnlock()
-	if draining {
+	if s.core.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"ladiff/internal/obs"
+	"ladiff/internal/sched"
 	"ladiff/internal/store"
 )
 
@@ -73,6 +74,21 @@ type Metrics struct {
 	CacheSize      atomic.Int64
 	CacheCapacity  atomic.Int64
 
+	// Batch counters: envelopes and the items fanned out of them (each
+	// item also counts in the per-item counters above, exactly as the
+	// equivalent single request would).
+	BatchRequests atomic.Int64
+	BatchItems    atomic.Int64
+
+	// Jobs is the async-job store's exactly-once accounting, owned by
+	// sched.JobStore (see sched.JobCounters for the invariant).
+	Jobs sched.JobCounters
+
+	// Webhook delivery outcomes: a delivery is one job's terminal
+	// notification, counted once however many attempts it took.
+	WebhookDeliveries atomic.Int64
+	WebhookFailures   atomic.Int64
+
 	PhaseLatency   [numPhases]Histogram
 	RequestLatency Histogram
 }
@@ -108,6 +124,12 @@ type MetricsSnapshot struct {
 	// traffic plus current size and configured capacity (all zero when
 	// DiffCacheEntries is 0).
 	Cache CacheSnapshot `json:"cache"`
+	// Batch reports POST /v1/diff/batch traffic: envelopes and the
+	// items fanned out of them.
+	Batch BatchSnapshot `json:"batch"`
+	// Jobs reports the async-job store: the exactly-once lifecycle
+	// counters plus webhook delivery outcomes.
+	Jobs JobsSnapshot `json:"jobs"`
 	// Store reports the versioned document store (docs, versions, noop
 	// ingests, feed fan-out and drop counters); nil when no store is
 	// configured. Populated by the scrape handler, not by Snapshot —
@@ -130,6 +152,32 @@ type CacheSnapshot struct {
 	Evictions int64 `json:"evictions"`
 	Size      int64 `json:"size"`
 	Capacity  int64 `json:"capacity"`
+}
+
+// BatchSnapshot is the wire form of the batch counters.
+type BatchSnapshot struct {
+	RequestsTotal int64 `json:"batch_requests_total"`
+	ItemsTotal    int64 `json:"batch_items_total"`
+}
+
+// JobsSnapshot is the wire form of the async-job counters. Queued and
+// Running are gauges; the rest are cumulative. The store invariant:
+// submitted_total always equals jobs_queued + jobs_running + done +
+// failed + canceled, and every terminal job is eventually counted by
+// exactly one of expired_total (TTL sweep) or deleted_total (explicit
+// eviction).
+type JobsSnapshot struct {
+	SubmittedTotal         int64 `json:"submitted_total"`
+	RejectedTotal          int64 `json:"rejected_total"`
+	Queued                 int64 `json:"jobs_queued"`
+	Running                int64 `json:"jobs_running"`
+	DoneTotal              int64 `json:"jobs_done_total"`
+	FailedTotal            int64 `json:"jobs_failed_total"`
+	CanceledTotal          int64 `json:"jobs_canceled_total"`
+	ExpiredTotal           int64 `json:"jobs_expired_total"`
+	DeletedTotal           int64 `json:"jobs_deleted_total"`
+	WebhookDeliveriesTotal int64 `json:"webhook_deliveries_total"`
+	WebhookFailuresTotal   int64 `json:"webhook_failures_total"`
 }
 
 // Snapshot captures every counter at one instant (counters are read
@@ -158,6 +206,23 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			Evictions: m.CacheEvictions.Load(),
 			Size:      m.CacheSize.Load(),
 			Capacity:  m.CacheCapacity.Load(),
+		},
+		Batch: BatchSnapshot{
+			RequestsTotal: m.BatchRequests.Load(),
+			ItemsTotal:    m.BatchItems.Load(),
+		},
+		Jobs: JobsSnapshot{
+			SubmittedTotal:         m.Jobs.Submitted.Load(),
+			RejectedTotal:          m.Jobs.Rejected.Load(),
+			Queued:                 m.Jobs.Queued.Load(),
+			Running:                m.Jobs.Running.Load(),
+			DoneTotal:              m.Jobs.Done.Load(),
+			FailedTotal:            m.Jobs.Failed.Load(),
+			CanceledTotal:          m.Jobs.Canceled.Load(),
+			ExpiredTotal:           m.Jobs.Expired.Load(),
+			DeletedTotal:           m.Jobs.Deleted.Load(),
+			WebhookDeliveriesTotal: m.WebhookDeliveries.Load(),
+			WebhookFailuresTotal:   m.WebhookFailures.Load(),
 		},
 		PhaseUS:   make(map[string]HistogramSnapshot, numPhases),
 		RequestUS: m.RequestLatency.Snapshot(),

@@ -17,6 +17,7 @@ import (
 	"ladiff"
 	"ladiff/internal/lderr"
 	"ladiff/internal/obs"
+	"ladiff/internal/sched"
 	"ladiff/internal/store"
 )
 
@@ -90,6 +91,29 @@ type Config struct {
 	// must not starve diff traffic), so they need their own bound.
 	// 0 means 256.
 	MaxFeeds int
+	// MaxBatchItems bounds how many pairs one POST /v1/diff/batch may
+	// carry; larger batches get 413. 0 means 64.
+	MaxBatchItems int
+	// MaxBatchBytes caps the aggregate size of the old+new documents
+	// across one batch's items (decoded, so it composes with
+	// MaxBodyBytes which caps the raw body); larger batches get 413.
+	// 0 means MaxBodyBytes.
+	MaxBatchBytes int64
+	// MaxJobs bounds the async-job store: queued + running jobs plus
+	// terminal results retained for polling. Submissions beyond it get
+	// 429. 0 means 256.
+	MaxJobs int
+	// JobTTL is how long a finished job's result stays pollable before
+	// the store sweeps it. 0 means 5 minutes.
+	JobTTL time.Duration
+	// WebhookAttempts bounds delivery attempts for a job's completion
+	// webhook (first try + retries). 0 means 3.
+	WebhookAttempts int
+	// WebhookBackoff is the base delay between webhook attempts,
+	// doubling per retry. 0 means 250ms.
+	WebhookBackoff time.Duration
+	// WebhookTimeout bounds each webhook POST. 0 means 5s.
+	WebhookTimeout time.Duration
 	// Logger receives structured access logs. Nil means slog.Default.
 	Logger *slog.Logger
 }
@@ -125,6 +149,27 @@ func (c Config) withDefaults() Config {
 	if c.FeedHeartbeat <= 0 {
 		c.FeedHeartbeat = 15 * time.Second
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = c.MaxBodyBytes
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 5 * time.Minute
+	}
+	if c.WebhookAttempts <= 0 {
+		c.WebhookAttempts = 3
+	}
+	if c.WebhookBackoff <= 0 {
+		c.WebhookBackoff = 250 * time.Millisecond
+	}
+	if c.WebhookTimeout <= 0 {
+		c.WebhookTimeout = 5 * time.Second
+	}
 	if c.MaxFeeds <= 0 {
 		c.MaxFeeds = 256
 	}
@@ -135,29 +180,34 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the diff-serving subsystem: HTTP handlers plus the shared
-// machinery under them — admission control, metrics, buffer pooling,
-// and drain state. Construct with New, mount Handler (and optionally
-// DebugHandler) on listeners, and call Shutdown to drain.
+// machinery under them — the scheduling core (admission slots, bounded
+// queue, drain state), metrics, and buffer pooling. Construct with New,
+// mount Handler (and optionally DebugHandler) on listeners, and call
+// Shutdown to drain.
 type Server struct {
 	cfg Config
-	adm *admission
-	met *Metrics
-	log *slog.Logger
+	// core is the shared scheduling core: every unit of work the server
+	// executes — single diffs, patches, store requests, batch items, and
+	// async jobs — acquires its slots and registers against its drain
+	// state, so their aggregate concurrency is bounded together.
+	core *sched.Core
+	met  *Metrics
+	log  *slog.Logger
 	// cache is the fingerprint-keyed diff LRU; nil when
 	// Config.DiffCacheEntries is 0.
 	cache *diffCache
-
-	// draining flips once at shutdown: new work is refused with 503
-	// while requests already in flight run to completion. It is guarded
-	// by mu (not an atomic) so the inflight Add in beginRequest cannot
-	// race with Shutdown's Wait.
-	mu       sync.RWMutex
-	draining bool
-	// inflight counts admitted requests so Shutdown can wait for them.
-	inflight sync.WaitGroup
+	// jobs is the async-job store behind /v1/jobs; nil only before New
+	// finishes.
+	jobs *sched.JobStore
 
 	// feeds counts open feed subscriptions against Config.MaxFeeds.
 	feeds atomic.Int64
+
+	// webhooks tracks in-flight completion-webhook deliveries so
+	// Shutdown can wait them out; webhookCtx aborts their retry loops.
+	webhooks      sync.WaitGroup
+	webhookCtx    context.Context
+	webhookCancel context.CancelFunc
 
 	// testGate, when non-nil, blocks every handler after admission
 	// until the channel is closed — a deterministic hook for the
@@ -169,7 +219,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, met: &Metrics{}, log: cfg.Logger}
-	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, &s.met.Queued)
+	s.core = sched.New(sched.Config{
+		Slots:       cfg.MaxConcurrent,
+		Queue:       cfg.MaxQueue,
+		QueuedGauge: &s.met.Queued,
+	})
+	s.jobs = sched.NewJobStore(s.core, sched.JobConfig{
+		Max:      cfg.MaxJobs,
+		TTL:      cfg.JobTTL,
+		Counters: &s.met.Jobs,
+	})
+	s.webhookCtx, s.webhookCancel = context.WithCancel(context.Background())
 	if cfg.DiffCacheEntries > 0 {
 		s.cache = newDiffCache(cfg.DiffCacheEntries, s.met)
 		s.met.CacheCapacity.Store(int64(cfg.DiffCacheEntries))
@@ -186,7 +246,11 @@ func (s *Server) Metrics() *Metrics { return s.met }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	mux.HandleFunc("POST /v1/diff/batch", s.handleDiffBatch)
 	mux.HandleFunc("POST /v1/patch", s.handlePatch)
+	mux.HandleFunc("POST /v1/jobs/diff", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	if s.cfg.Store != nil {
 		mux.HandleFunc("GET /v1/docs", s.handleDocList)
 		mux.HandleFunc("PUT /v1/docs/{key}", s.handleDocPut)
@@ -316,32 +380,37 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // failing (so load balancers stop routing here) and new API requests
 // are refused with 503, while admitted requests run to completion.
 // /healthz stays 200 — the process is still alive and finishing work.
-func (s *Server) BeginDrain() {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
-}
+func (s *Server) BeginDrain() { s.core.BeginDrain() }
 
 // Shutdown drains the server gracefully: it begins draining, closes
 // every open feed subscription (feed handlers see their event channel
-// close and exit), then waits until every in-flight request has
+// close and exit), stops the async-job store (queued and running jobs
+// are canceled — the store is in-memory, so there is nothing to hand
+// off — and canceled jobs never deliver webhooks), aborts in-flight
+// webhook retry loops, then waits until every in-flight request has
 // finished or ctx ends, returning ctx.Err() in the latter case.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
 	if s.cfg.Store != nil {
 		s.cfg.Store.CloseFeeds()
 	}
-	done := make(chan struct{})
+	if err := s.jobs.Shutdown(ctx); err != nil {
+		return err
+	}
+	// Jobs that finished before the drain may still be retrying their
+	// webhooks; cut them off and wait for the delivery goroutines.
+	s.webhookCancel()
+	webhooksDone := make(chan struct{})
 	go func() {
-		s.inflight.Wait()
-		close(done)
+		s.webhooks.Wait()
+		close(webhooksDone)
 	}()
 	select {
-	case <-done:
-		return nil
+	case <-webhooksDone:
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	return s.core.Drain(ctx)
 }
 
 // statusRecorder captures the status code a handler wrote so the

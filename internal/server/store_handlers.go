@@ -142,7 +142,7 @@ func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	key := r.PathValue("key")
 	var req DocPutRequest
@@ -158,7 +158,7 @@ func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r) {
 		return
 	}
-	defer s.adm.release()
+	defer s.core.Release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
 	s.met.InFlight.Add(1)
@@ -183,7 +183,7 @@ func (s *Server) handleDocList(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	keys := s.cfg.Store.Keys()
 	sort.Strings(keys)
@@ -209,7 +209,7 @@ func (s *Server) handleDocVersions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	key := r.PathValue("key")
 	versions, err := s.cfg.Store.Versions(key)
@@ -232,7 +232,7 @@ func (s *Server) handleDocCheckout(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	key := r.PathValue("key")
 	n, err := strconv.Atoi(r.PathValue("n"))
@@ -245,7 +245,7 @@ func (s *Server) handleDocCheckout(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r) {
 		return
 	}
-	defer s.adm.release()
+	defer s.core.Release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(0))
 	defer cancel()
 	s.met.InFlight.Add(1)
@@ -281,7 +281,7 @@ func (s *Server) handleDocDiff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	key := r.PathValue("key")
 	q := r.URL.Query()
@@ -324,7 +324,7 @@ func (s *Server) handleDocDiff(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r) {
 		return
 	}
-	defer s.adm.release()
+	defer s.core.Release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(0))
 	defer cancel()
 	s.met.InFlight.Add(1)
@@ -407,7 +407,7 @@ func (s *Server) handleDocFeed(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	defer s.inflight.Done()
+	defer s.endRequest()
 
 	key := r.PathValue("key")
 	q := r.URL.Query()
